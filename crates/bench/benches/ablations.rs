@@ -1,0 +1,85 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * multilevel pipeline components (coarsening on/off, FM passes) — both
+//!   the partitioning *time* (criterion) and the achieved *cut quality*
+//!   (printed once per configuration);
+//! * comm/comp overlap on vs off in the cost model — the value of
+//!   Algorithm 1's non-blocking sends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargcn_comm::MachineProfile;
+use pargcn_core::metrics::simulate_epoch;
+use pargcn_core::{CommPlan, GcnConfig};
+use pargcn_graph::gen::community;
+use pargcn_partition::{hmultilevel, Hypergraph, Partition};
+
+fn configs() -> Vec<(&'static str, hmultilevel::Options)> {
+    vec![
+        ("full", hmultilevel::Options::default()),
+        (
+            "no_coarsen",
+            hmultilevel::Options { coarsen: false, ..Default::default() },
+        ),
+        (
+            "no_fm",
+            hmultilevel::Options {
+                fm_passes_coarsest: 0,
+                fm_passes_uncoarsen: 0,
+                ..Default::default()
+            },
+        ),
+        (
+            "fm1",
+            hmultilevel::Options {
+                fm_passes_coarsest: 1,
+                fm_passes_uncoarsen: 1,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+fn bench_pipeline_ablation(c: &mut Criterion) {
+    let g = community::copurchase(6000, 6.0, false, 1);
+    let a = g.normalized_adjacency();
+    let h = Hypergraph::column_net_model(&a);
+    let mut group = c.benchmark_group("hp_pipeline_ablation");
+    group.sample_size(10);
+    for (name, opts) in configs() {
+        // Report the cut once, so quality and speed can be traded visibly.
+        let part = hmultilevel::partition_with(&h, 16, 0.05, 1, opts);
+        eprintln!(
+            "ablation {name}: connectivity-1 cut = {}, imbalance = {:.4}",
+            h.connectivity_cut(&part),
+            part.imbalance(h.vertex_weights())
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &o| {
+            b.iter(|| hmultilevel::partition_with(&h, 16, 0.05, 1, o))
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlap_ablation(c: &mut Criterion) {
+    // Not a timing benchmark of our code but of the modeled epoch — measure
+    // the model evaluation itself and print the overlap-on/off epoch times.
+    let g = community::copurchase(6000, 6.0, false, 2);
+    let a = g.normalized_adjacency();
+    let h = Hypergraph::column_net_model(&a);
+    let part: Partition = hmultilevel::partition(&h, 64, 0.05, 1);
+    let plan = CommPlan::build(&a, &part);
+    let config = GcnConfig::two_layer(32, 32, 16);
+    let on = MachineProfile::cpu_cluster();
+    let off = MachineProfile { overlap: false, ..on };
+    eprintln!(
+        "overlap ablation: epoch with overlap = {:.6}s, without = {:.6}s",
+        simulate_epoch(&plan, &plan, &config, &on).total,
+        simulate_epoch(&plan, &plan, &config, &off).total,
+    );
+    c.bench_function("simulate_epoch_eval", |b| {
+        b.iter(|| simulate_epoch(&plan, &plan, &config, std::hint::black_box(&on)))
+    });
+}
+
+criterion_group!(benches, bench_pipeline_ablation, bench_overlap_ablation);
+criterion_main!(benches);

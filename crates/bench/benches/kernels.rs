@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the matrix kernels driving GCN training:
+//! SpMM (the convolution), DMM (parameter application), the `Xₘₙ ⊗ H` row
+//! gather (message assembly), and adjacency normalization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pargcn_graph::gen::{grid, rmat};
+use pargcn_matrix::{gather, norm, Dense};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    for (name, graph) in [
+        ("road_10k", grid::road_network(10_000, 1)),
+        ("rmat_10k", rmat::generate_sized(10_000, 8.0, false, 1)),
+    ] {
+        let a = graph.normalized_adjacency();
+        for d in [16usize, 64] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let h = Dense::random(a.n_cols(), d, &mut rng);
+            group.throughput(Throughput::Elements((a.nnz() * d) as u64));
+            group.bench_with_input(BenchmarkId::new(name, d), &d, |b, _| {
+                b.iter(|| a.spmm(std::hint::black_box(&h)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmm");
+    let mut rng = StdRng::seed_from_u64(3);
+    for (rows, k, n) in [(10_000usize, 32usize, 32usize), (10_000, 64, 16)] {
+        let a = Dense::random(rows, k, &mut rng);
+        let w = Dense::random(k, n, &mut rng);
+        group.throughput(Throughput::Elements((rows * k * n) as u64));
+        group.bench_function(format!("{rows}x{k}x{n}"), |b| {
+            b.iter(|| a.matmul(std::hint::black_box(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_rows");
+    let mut rng = StdRng::seed_from_u64(4);
+    let h = Dense::random(100_000, 32, &mut rng);
+    for frac in [10usize, 2] {
+        let idx: Vec<u32> = (0..100_000u32).step_by(frac).collect();
+        group.throughput(Throughput::Bytes((idx.len() * 32 * 4) as u64));
+        group.bench_function(format!("every_{frac}th"), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| gather::gather_rows_into(std::hint::black_box(&h), &idx, &mut buf))
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let g = rmat::generate_sized(20_000, 8.0, false, 5);
+    c.bench_function("normalize_adjacency_20k", |b| {
+        b.iter(|| norm::normalize_adjacency(std::hint::black_box(g.adjacency())))
+    });
+}
+
+criterion_group!(benches, bench_spmm, bench_dmm, bench_gather, bench_normalize);
+criterion_main!(benches);

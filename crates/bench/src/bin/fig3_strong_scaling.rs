@@ -1,0 +1,91 @@
+//! Figure 3: strong scaling of full-batch training.
+//!
+//! Top row (paper): HP/GP/RP per-epoch time on P = 16…512 CPUs.
+//! Bottom row: HP/GP/RP/CAGNET on P = 3…27 GPUs (NCCL profile).
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin fig3_strong_scaling -- --machine cpu [--quick]
+//! cargo run -p pargcn-bench --release --bin fig3_strong_scaling -- --machine gpu [--quick]
+//! ```
+
+use pargcn_bench::{build_cagnet_plans, build_plans, comm_experiment_config, Opts, ResultRow};
+use pargcn_comm::MachineProfile;
+use pargcn_core::baselines::cagnet;
+use pargcn_core::metrics::simulate_epoch;
+use pargcn_graph::Dataset;
+use pargcn_partition::Method;
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::parse();
+    let args: Vec<String> = std::env::args().collect();
+    let machine = args
+        .iter()
+        .position(|a| a == "--machine")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "cpu".into());
+
+    let (profile, ps, with_cagnet): (MachineProfile, Vec<usize>, bool) = match machine.as_str() {
+        "gpu" => (MachineProfile::gpu_cluster(), vec![3, 9, 15, 21, 27], true),
+        _ => (
+            MachineProfile::cpu_cluster(),
+            if opts.quick { vec![16, 32, 64] } else { vec![16, 32, 64, 128, 256, 512] },
+            false,
+        ),
+    };
+    let config = comm_experiment_config();
+    println!("Figure 3 ({machine}): per-epoch time (seconds) vs processor count");
+    let mut rows = Vec::new();
+
+    let datasets: &[Dataset] =
+        if opts.quick { &[Dataset::ComAmazon, Dataset::RoadNetCa] } else { &Dataset::TABLE2 };
+
+    for &ds in datasets {
+        let data = opts.load(ds);
+        let a = data.graph.normalized_adjacency();
+        print!("{:<18} {:<6}", ds.name(), "P:");
+        for &p in &ps {
+            print!(" {:>10}", p);
+        }
+        println!();
+        for method in [Method::Hp, Method::Gp, Method::Rp] {
+            print!("{:<18} {:<6}", "", method.name());
+            for &p in &ps {
+                let (_, plan_f, plan_b) = build_plans(&data, &a, method, p, opts.seed);
+                let t = simulate_epoch(&plan_f, &plan_b, &config, &profile).total;
+                print!(" {:>10.5}", t);
+                let mut metrics = BTreeMap::new();
+                metrics.insert("epoch_seconds".into(), t);
+                rows.push(ResultRow {
+                    experiment: format!("fig3_{machine}"),
+                    dataset: ds.name().into(),
+                    method: method.name().into(),
+                    p,
+                    metrics,
+                });
+            }
+            println!();
+        }
+        if with_cagnet {
+            print!("{:<18} {:<6}", "", "CN");
+            for &p in &ps {
+                let (part, _, _) = build_plans(&data, &a, Method::Rp, p, opts.seed);
+                let (cf, cb) = build_cagnet_plans(&data, &a, &part);
+                let t = cagnet::simulate_epoch(&cf, &cb, &config, &profile).total;
+                print!(" {:>10.5}", t);
+                let mut metrics = BTreeMap::new();
+                metrics.insert("epoch_seconds".into(), t);
+                rows.push(ResultRow {
+                    experiment: format!("fig3_{machine}"),
+                    dataset: ds.name().into(),
+                    method: "CN".into(),
+                    p,
+                    metrics,
+                });
+            }
+            println!();
+        }
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

@@ -1,0 +1,78 @@
+//! Figure 4a: communication vs computation time breakdown on coPapersDBLP,
+//! P = 16…512, for HP, GP, RP, and CAGNET (CN).
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin fig4a_breakdown [-- --quick]
+//! ```
+//!
+//! The paper's findings this must reproduce: P2P comm time *decreases* with
+//! P while CAGNET's *increases*; HP has the lowest comm at high P (GP ~1.7×
+//! and CN ~8× higher at P = 512); CAGNET also pays redundant computation.
+
+use pargcn_bench::{build_cagnet_plans, build_plans, comm_experiment_config, Opts, ResultRow};
+use pargcn_comm::MachineProfile;
+use pargcn_core::baselines::cagnet;
+use pargcn_core::metrics::simulate_epoch;
+use pargcn_graph::Dataset;
+use pargcn_partition::Method;
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::parse();
+    let ps: Vec<usize> =
+        if opts.quick { vec![16, 64] } else { vec![16, 32, 64, 128, 256, 512] };
+    let config = comm_experiment_config();
+    let profile = MachineProfile::cpu_cluster();
+    let ds = Dataset::CoPapersDblp;
+    let data = opts.load(ds);
+    let a = data.graph.normalized_adjacency();
+
+    println!("Figure 4a: comm/comp split on {} (seconds per epoch)", ds.name());
+    println!("{:<8} {:<8} {:>12} {:>12} {:>12}", "P", "Method", "total", "comm", "comp");
+    let mut rows = Vec::new();
+    for &p in &ps {
+        for method in [Method::Hp, Method::Gp, Method::Rp] {
+            let (_, plan_f, plan_b) = build_plans(&data, &a, method, p, opts.seed);
+            let t = simulate_epoch(&plan_f, &plan_b, &config, &profile);
+            println!(
+                "{:<8} {:<8} {:>12.5} {:>12.5} {:>12.5}",
+                p,
+                method.name(),
+                t.total,
+                t.comm,
+                t.comp
+            );
+            let mut metrics = BTreeMap::new();
+            metrics.insert("total".into(), t.total);
+            metrics.insert("comm".into(), t.comm);
+            metrics.insert("comp".into(), t.comp);
+            rows.push(ResultRow {
+                experiment: "fig4a".into(),
+                dataset: ds.name().into(),
+                method: method.name().into(),
+                p,
+                metrics,
+            });
+        }
+        // CAGNET on the same (random) row distribution.
+        let (part, _, _) = build_plans(&data, &a, Method::Rp, p, opts.seed);
+        let (cf, cb) = build_cagnet_plans(&data, &a, &part);
+        let t = cagnet::simulate_epoch(&cf, &cb, &config, &profile);
+        println!(
+            "{:<8} {:<8} {:>12.5} {:>12.5} {:>12.5}",
+            p, "CN", t.total, t.comm, t.comp
+        );
+        let mut metrics = BTreeMap::new();
+        metrics.insert("total".into(), t.total);
+        metrics.insert("comm".into(), t.comm);
+        metrics.insert("comp".into(), t.comp);
+        rows.push(ResultRow {
+            experiment: "fig4a".into(),
+            dataset: ds.name().into(),
+            method: "CN".into(),
+            p,
+            metrics,
+        });
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

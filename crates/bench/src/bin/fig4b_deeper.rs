@@ -1,0 +1,71 @@
+//! Figure 4b: speedup over the single-node baseline on roadNet-CA at
+//! P = 512, varying depth L = 2…8 and width d ∈ {50, 100}.
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin fig4b_deeper [-- --quick]
+//! ```
+//!
+//! Shapes to reproduce (paper): speedup does not degrade with depth (HP's
+//! even grows), and halving d from 100 to 50 raises speedup because
+//! communication volume scales with d.
+
+use pargcn_bench::{build_plans, Opts, ResultRow};
+use pargcn_comm::MachineProfile;
+use pargcn_core::metrics::{simulate_epoch, simulate_serial_epoch};
+use pargcn_core::{GcnConfig, LayerOrder};
+use pargcn_graph::Dataset;
+use pargcn_partition::Method;
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::parse();
+    let args: Vec<String> = std::env::args().collect();
+    let p = args
+        .iter()
+        .position(|a| a == "--p")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if opts.quick { 64 } else { 512 });
+    let ds = Dataset::RoadNetCa;
+    let data = opts.load(ds);
+    let a = data.graph.normalized_adjacency();
+    let profile = MachineProfile::cpu_cluster();
+    let single = MachineProfile::single_node();
+
+    println!("Figure 4b: speedup vs layers on {} at P={p}", ds.name());
+    println!("{:<6} {:<4} {:>10} {:>10} {:>10}", "d", "L", "HP", "GP", "RP");
+    let mut rows = Vec::new();
+    // Partitions are depth-independent: build once per method.
+    let plans: Vec<_> = [Method::Hp, Method::Gp, Method::Rp]
+        .iter()
+        .map(|&m| (m, build_plans(&data, &a, m, p, opts.seed)))
+        .collect();
+
+    for d in [50usize, 100] {
+        for layers in 2..=8usize {
+            let mut dims = vec![d; layers];
+            dims.push(16); // classification head width
+            let config = GcnConfig { dims, learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+            let serial = simulate_serial_epoch(a.nnz(), data.graph.n(), &config, &single);
+            print!("{:<6} {:<4}", d, layers);
+            for (m, (_, plan_f, plan_b)) in &plans {
+                let t = simulate_epoch(plan_f, plan_b, &config, &profile).total;
+                let s = serial / t;
+                print!(" {:>10.2}", s);
+                let mut metrics = BTreeMap::new();
+                metrics.insert("speedup".into(), s);
+                metrics.insert("layers".into(), layers as f64);
+                metrics.insert("d".into(), d as f64);
+                rows.push(ResultRow {
+                    experiment: "fig4b".into(),
+                    dataset: ds.name().into(),
+                    method: m.name().into(),
+                    p,
+                    metrics,
+                });
+            }
+            println!();
+        }
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

@@ -1,0 +1,110 @@
+//! Figure 5: SHP vs HP for mini-batch training on com-Amazon — per-batch
+//! expected communication volume and cost-model running time over
+//! P = 3…27 (GPU profile, as in the paper).
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin fig5_shp [-- --quick]
+//! ```
+//!
+//! Shape to reproduce: HP induces ≈10% more mini-batch communication volume
+//! than SHP on average, with the gap widening at higher processor counts.
+//! The paper samples 10K batches of 20K vertices; we build the stochastic
+//! hypergraph from 1600 batches (enough for SHP's estimate to converge at
+//! this scale — see Eq. 14) and evaluate on 200 held-out batches.
+
+use pargcn_bench::{comm_experiment_config, Opts, ResultRow};
+use pargcn_comm::MachineProfile;
+use pargcn_core::metrics::simulate_epoch;
+use pargcn_core::minibatch::{expected_comm_volume, restrict_partition};
+use pargcn_core::CommPlan;
+use pargcn_graph::Dataset;
+use pargcn_matrix::norm;
+use pargcn_partition::stochastic::{sample_batches, Sampler};
+use pargcn_partition::{partition_rows, Method, DEFAULT_EPSILON};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::parse();
+    let data = opts.load(Dataset::ComAmazon);
+    let n = data.graph.n();
+    let batch_size = (n / 16).max(8); // paper: 20K of 335K ≈ n/17
+    let build_batches = if opts.quick { 150 } else { 1600 }; // merged into the SHP hypergraph
+    let eval_batches = if opts.quick { 20 } else { 200 };
+    let ps: Vec<usize> = if opts.quick { vec![3, 9] } else { vec![3, 9, 15, 21, 27] };
+    let config = comm_experiment_config();
+    let profile = MachineProfile::gpu_cluster();
+
+    println!(
+        "Figure 5: SHP vs HP mini-batch on {} (n={n}, batch={batch_size}, {eval_batches} eval batches)",
+        Dataset::ComAmazon.name()
+    );
+    println!(
+        "{:<6} {:>14} {:>14} {:>9} | {:>12} {:>12}",
+        "P", "HP vol", "SHP vol", "HP/SHP", "HP time", "SHP time"
+    );
+    let mut rows = Vec::new();
+    let a = data.graph.normalized_adjacency();
+    // Evaluation batches are shared across methods and P (seeded separately
+    // from the SHP construction batches so SHP cannot overfit them).
+    let eval = sample_batches(
+        &data.graph,
+        Sampler::UniformVertex { batch_size },
+        eval_batches,
+        opts.seed ^ 0xe5a1,
+    );
+
+    for &p in &ps {
+        let hp = partition_rows(&data.graph, &a, Method::Hp, p, DEFAULT_EPSILON, opts.seed);
+        let shp = partition_rows(
+            &data.graph,
+            &a,
+            Method::Shp {
+                sampler: Sampler::UniformVertex { batch_size },
+                batches: build_batches,
+            },
+            p,
+            DEFAULT_EPSILON,
+            opts.seed,
+        );
+        let (hp_vol, _) = expected_comm_volume(&data.graph, &eval, &hp);
+        let (shp_vol, _) = expected_comm_volume(&data.graph, &eval, &shp);
+
+        // Cost-model time of one mini-batch step, averaged over a few
+        // representative batches.
+        let mut hp_time = 0.0;
+        let mut shp_time = 0.0;
+        let probe = eval.len().min(8);
+        for batch in eval.iter().take(probe) {
+            let sub = data.graph.induced_subgraph(batch);
+            let sa = norm::normalize_adjacency(sub.adjacency());
+            for (part, acc) in [(&hp, &mut hp_time), (&shp, &mut shp_time)] {
+                let sp = restrict_partition(part, batch);
+                let plan = CommPlan::build(&sa, &sp);
+                *acc += simulate_epoch(&plan, &plan, &config, &profile).total / probe as f64;
+            }
+        }
+
+        println!(
+            "{:<6} {:>14} {:>14} {:>9.3} | {:>12.6} {:>12.6}",
+            p,
+            hp_vol,
+            shp_vol,
+            hp_vol as f64 / shp_vol.max(1) as f64,
+            hp_time,
+            shp_time
+        );
+        for (name, vol, time) in [("HP", hp_vol, hp_time), ("SHP", shp_vol, shp_time)] {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("eval_volume_rows".into(), vol as f64);
+            metrics.insert("batch_time_seconds".into(), time);
+            rows.push(ResultRow {
+                experiment: "fig5".into(),
+                dataset: Dataset::ComAmazon.name().into(),
+                method: name.into(),
+                p,
+                metrics,
+            });
+        }
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

@@ -1,0 +1,51 @@
+//! Table 1: dataset properties — prints the paper's reported sizes next to
+//! the generated synthetic stand-ins at the effective scale.
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin table1_datasets [-- --quick]
+//! ```
+
+use pargcn_bench::{fmt_count, Opts, ResultRow};
+use pargcn_graph::Dataset;
+
+fn main() {
+    let opts = Opts::parse();
+    println!("Table 1: dataset properties (paper vs generated at 1/scale)");
+    println!(
+        "{:<18} {:>12} {:>14} {:>9} | {:>6} {:>10} {:>12} {:>8} {:>6}",
+        "Dataset", "paper |V|", "paper |E|", "directed", "scale", "gen |V|", "gen |E|", "avgdeg", "skew"
+    );
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let (pv, pe, dir) = ds.paper_properties();
+        let scale = opts.scale_for(ds);
+        let data = ds.generate(scale, opts.seed);
+        let stats = data.graph.degree_stats();
+        println!(
+            "{:<18} {:>12} {:>14} {:>9} | {:>6} {:>10} {:>12} {:>8.2} {:>6.1}",
+            ds.name(),
+            fmt_count(pv as u64),
+            fmt_count(pe as u64),
+            if dir { "yes" } else { "no" },
+            scale.0,
+            fmt_count(data.graph.n() as u64),
+            fmt_count(data.graph.num_edges() as u64),
+            stats.avg,
+            stats.skew,
+        );
+        let mut metrics = std::collections::BTreeMap::new();
+        metrics.insert("gen_vertices".into(), data.graph.n() as f64);
+        metrics.insert("gen_edges".into(), data.graph.num_edges() as f64);
+        metrics.insert("avg_degree".into(), stats.avg);
+        metrics.insert("skew".into(), stats.skew);
+        metrics.insert("scale".into(), scale.0 as f64);
+        rows.push(ResultRow {
+            experiment: "table1".into(),
+            dataset: ds.name().into(),
+            method: "generate".into(),
+            p: 0,
+            metrics,
+        });
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

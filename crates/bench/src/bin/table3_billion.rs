@@ -1,0 +1,72 @@
+//! Table 3: billion-scale training — HP vs RP on the ogbn-Papers100M-class
+//! dataset at P = 27 (GPU profile), feature widths d ∈ {1, 2, 5}.
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin table3_billion [-- --quick --scale 4]
+//! ```
+//!
+//! Shapes to reproduce: HP's total communication volume ≈10× below RP's;
+//! RP's running time degrades sharply as d grows while HP's stays nearly
+//! flat (paper: 24.5→29.7 s for HP vs 34.7→65.1 s for RP). The generator
+//! runs at 1/2048 of the paper's 111M vertices by default (DESIGN.md §5);
+//! volumes below are for the scaled instance.
+
+use pargcn_bench::{build_plans, Opts, ResultRow};
+use pargcn_comm::MachineProfile;
+use pargcn_core::metrics::simulate_epoch;
+use pargcn_core::{GcnConfig, LayerOrder};
+use pargcn_graph::Dataset;
+use pargcn_partition::{metrics as pmetrics, Method};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Opts::parse();
+    let p = 27usize;
+    let ds = Dataset::OgbnPapers100M;
+    let data = opts.load(ds);
+    let a = data.graph.normalized_adjacency();
+    let profile = MachineProfile::gpu_cluster();
+
+    println!(
+        "Table 3: {} (n={}, nnz={}) on P={p} GPUs",
+        ds.name(),
+        data.graph.n(),
+        a.nnz()
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>16}",
+        "Method", "t(d=1)", "t(d=2)", "t(d=5)", "comm volume"
+    );
+    let mut rows = Vec::new();
+    for method in [Method::Hp, Method::Rp] {
+        let (part, plan_f, plan_b) = build_plans(&data, &a, method, p, opts.seed);
+        let stats = pmetrics::spmm_comm_stats(&a, &part);
+        let mut times = Vec::new();
+        for d in [1usize, 2, 5] {
+            let config =
+                GcnConfig { dims: vec![d, d, d], learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+            times.push(simulate_epoch(&plan_f, &plan_b, &config, &profile).total);
+        }
+        println!(
+            "{:<8} {:>12.6} {:>12.6} {:>12.6} {:>16}",
+            method.name(),
+            times[0],
+            times[1],
+            times[2],
+            pargcn_bench::fmt_count(stats.total_rows)
+        );
+        let mut metrics = BTreeMap::new();
+        metrics.insert("t_d1".into(), times[0]);
+        metrics.insert("t_d2".into(), times[1]);
+        metrics.insert("t_d5".into(), times[2]);
+        metrics.insert("volume_rows".into(), stats.total_rows as f64);
+        rows.push(ResultRow {
+            experiment: "table3".into(),
+            dataset: ds.name().into(),
+            method: method.name().into(),
+            p,
+            metrics,
+        });
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

@@ -1,0 +1,80 @@
+//! Table 4: per-epoch running time on Reddit vs published numbers of other
+//! distributed GNN systems.
+//!
+//! ```text
+//! cargo run -p pargcn-bench --release --bin table4_sota [-- --quick]
+//! ```
+//!
+//! Only the HP row is *measured* (cost model on the Reddit-class generator,
+//! A100×3-like profile, full-batch like the paper); the remaining rows are
+//! constants the paper cites from each system's publication — reproduced
+//! here verbatim for the comparison table, exactly as the paper does.
+
+use pargcn_bench::{build_plans, comm_experiment_config, Opts, ResultRow};
+use pargcn_comm::MachineProfile;
+use pargcn_core::metrics::simulate_epoch;
+use pargcn_graph::Dataset;
+use pargcn_partition::Method;
+use std::collections::BTreeMap;
+
+/// `(system, seconds-per-epoch, setup, source)` as cited in the paper.
+const CITED: &[(&str, f64, &str, &str)] = &[
+    ("CAGNET", 0.11, "V100*4", "Fig 1 (c=1) [54]"),
+    ("ROC", 0.20, "P100*4", "Fig 5 [22]"),
+    ("Sancus", 0.09, "V100*4", "Table 4 (SCS-A) [43]"),
+    ("PaGraph", 1.00, "1080Ti*1", "Fig 9 [34]"),
+    ("Dorylus", 1.36, "V100*2", "Fig 5, Table 4 [52]"),
+    ("DGCL", 0.15, "V100*4", "Fig 8(a) [4]"),
+];
+
+fn main() {
+    let opts = Opts::parse();
+    let ds = Dataset::Reddit;
+    let data = opts.load(ds);
+    let a = data.graph.normalized_adjacency();
+    let config = comm_experiment_config();
+    let profile = MachineProfile::gpu_cluster();
+    let p = 3; // the paper's A100×3 setup
+
+    let (_, plan_f, plan_b) = build_plans(&data, &a, Method::Hp, p, opts.seed);
+    let t = simulate_epoch(&plan_f, &plan_b, &config, &profile).total;
+    // Scale-adjusted estimate: the generator runs at 1/scale of Reddit, and
+    // epoch cost is roughly linear in nnz at fixed p.
+    let scale = opts.scale_for(ds).0 as f64;
+    let t_full = t * scale;
+
+    println!("Table 4: per-epoch running time on Reddit (paper setup: full-batch, A100*3)");
+    println!("{:<10} {:>14} {:<10} {}", "Method", "time (s/epoch)", "Setup", "Reference");
+    println!(
+        "{:<10} {:>14.3} {:<10} {}",
+        "HP",
+        t_full,
+        "A100*3",
+        format!("measured (cost model; 1/{} scale extrapolated)", scale as u64)
+    );
+    let mut rows = vec![{
+        let mut metrics = BTreeMap::new();
+        metrics.insert("epoch_seconds".into(), t_full);
+        metrics.insert("epoch_seconds_scaled_instance".into(), t);
+        ResultRow {
+            experiment: "table4".into(),
+            dataset: ds.name().into(),
+            method: "HP".into(),
+            p,
+            metrics,
+        }
+    }];
+    for &(system, secs, setup, reference) in CITED {
+        println!("{:<10} {:>14.3} {:<10} {}", system, secs, setup, reference);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("epoch_seconds_cited".into(), secs);
+        rows.push(ResultRow {
+            experiment: "table4".into(),
+            dataset: ds.name().into(),
+            method: system.into(),
+            p: 0,
+            metrics,
+        });
+    }
+    pargcn_bench::write_json(&opts, &rows);
+}

@@ -1,0 +1,118 @@
+//! Minimal flag parser for the `pargcn` binary — `--key value` pairs and
+//! bare subcommands, no external dependency.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Args {
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parses `argv[1..]`: first token is the subcommand, the rest must be
+    /// `--key value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .cloned()
+            .ok_or_else(|| ParseError("missing subcommand".into()))?;
+        if command.starts_with("--") {
+            return Err(ParseError(format!("expected a subcommand, got flag {command}")));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(ParseError(format!("expected --flag, got {key}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError(format!("flag --{name} needs a value")))?;
+            if options.insert(name.to_string(), value.clone()).is_some() {
+                return Err(ParseError(format!("flag --{name} given twice")));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// String option with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, ParseError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ParseError(format!("missing required flag --{key}")))
+    }
+
+    /// Parsed numeric option with default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ParseError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError(format!("flag --{key}: cannot parse '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(&argv(&["train", "--dataset", "Cora", "--p", "4"])).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.require("dataset").unwrap(), "Cora");
+        assert_eq!(a.num_or("p", 1usize).unwrap(), 4);
+        assert_eq!(a.num_or("epochs", 30usize).unwrap(), 30);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(Args::parse(&[]).is_err());
+        assert!(Args::parse(&argv(&["--p", "4"])).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(Args::parse(&argv(&["train", "--p"])).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flag() {
+        assert!(Args::parse(&argv(&["train", "--p", "4", "--p", "8"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let a = Args::parse(&argv(&["train", "--p", "four"])).unwrap();
+        assert!(a.num_or("p", 1usize).is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv(&["info"])).unwrap();
+        assert_eq!(a.get_or("method", "hp"), "hp");
+    }
+}

@@ -1,0 +1,44 @@
+//! `pargcn` — command-line driver for the library.
+//!
+//! ```text
+//! pargcn info      --dataset roadNet-CA [--scale 2] [--seed 1]
+//! pargcn partition --dataset com-Amazon --method hp --p 16 [--epsilon 0.01] [--out part.txt]
+//! pargcn train     --dataset Cora --method hp --p 4 --epochs 30
+//!                  [--hidden 16] [--optimizer adam] [--lr 0.1] [--save-params model.pgcn]
+//! pargcn simulate  --dataset roadNet-CA --method hp --p 512 --machine cpu [--layers 2] [--d 32]
+//! ```
+//!
+//! Dataset names are the paper's Table 1 names (see `pargcn info --list`).
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "info" => commands::info(&parsed),
+        "partition" => commands::partition(&parsed),
+        "train" => commands::train(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(args::ParseError(format!("unknown subcommand '{other}'"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n");
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,419 @@
+//! The rank runtime: MPI-flavoured non-blocking point-to-point messaging
+//! and collectives over threads and lock-free channels.
+//!
+//! Semantics mirror the MPI subset Algorithms 1–2 of the paper need:
+//!
+//! * [`RankCtx::isend`] is non-blocking (the payload is handed to an
+//!   unbounded channel and the sender continues immediately — the "overlap
+//!   communication with local computation" behaviour of Algorithm 1 line 6);
+//! * [`RankCtx::recv`] blocks until a message with matching `(source, tag)`
+//!   arrives, buffering non-matching arrivals (MPI tag matching);
+//! * channel FIFO order per sender gives MPI's non-overtaking guarantee;
+//! * [`RankCtx::allreduce_sum`] combines contributions **in rank order**,
+//!   so results are bitwise deterministic run to run.
+
+use crate::counters::CommCounters;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Reserved tag space for collectives; user tags must stay below this.
+pub const RESERVED_TAG_BASE: u32 = u32::MAX - 16;
+const TAG_ALLREDUCE: u32 = RESERVED_TAG_BASE;
+const TAG_BROADCAST: u32 = RESERVED_TAG_BASE + 1;
+const TAG_GATHER: u32 = RESERVED_TAG_BASE + 2;
+
+struct Message {
+    from: u32,
+    tag: u32,
+    payload: Vec<f32>,
+}
+
+/// Spawns `p` rank threads and runs `f` on each.
+pub struct Communicator;
+
+impl Communicator {
+    /// Runs `f(rank_ctx)` on `p` threads, returning per-rank results in rank
+    /// order. Panics in any rank propagate.
+    pub fn run<F, R>(p: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        assert!(p >= 1, "need at least one rank");
+        let mut senders: Vec<Sender<Message>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(Some(r));
+        }
+        let barrier = Arc::new(Barrier::new(p));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, recv_slot) in receivers.iter_mut().enumerate() {
+                let receiver = recv_slot.take().expect("receiver taken once");
+                let senders = senders.clone();
+                let barrier = Arc::clone(&barrier);
+                handles.push(scope.spawn(move || {
+                    let mut ctx = RankCtx {
+                        rank,
+                        p,
+                        senders,
+                        receiver,
+                        pending: Vec::new(),
+                        barrier,
+                        counters: CommCounters::default(),
+                    };
+                    f(&mut ctx)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+}
+
+/// Per-rank handle: identity, message endpoints, and counters.
+pub struct RankCtx {
+    rank: usize,
+    p: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Arrived messages not yet claimed by a matching `recv`.
+    pending: Vec<Message>,
+    barrier: Arc<Barrier>,
+    counters: CommCounters,
+}
+
+impl RankCtx {
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Read access to this rank's counters.
+    pub fn counters(&self) -> &CommCounters {
+        &self.counters
+    }
+
+    /// Resets this rank's counters (e.g. between warm-up and measured epochs).
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// Non-blocking point-to-point send. Returns immediately; the payload
+    /// is owned by the runtime from here on.
+    ///
+    /// # Panics
+    /// Panics on self-sends (local data never travels through the runtime in
+    /// Algorithms 1–2) and on reserved tags.
+    pub fn isend(&mut self, to: usize, tag: u32, payload: Vec<f32>) {
+        assert_ne!(to, self.rank, "self-sends are a bug: local rows stay local");
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.counters.sent_messages += 1;
+        self.counters.sent_bytes += (payload.len() * 4) as u64;
+        self.senders[to]
+            .send(Message { from: self.rank as u32, tag, payload })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of the next message with matching source and tag.
+    pub fn recv(&mut self, from: usize, tag: u32) -> Vec<f32> {
+        let start = Instant::now();
+        let payload = self.recv_inner(from as u32, tag);
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+        self.counters.recv_messages += 1;
+        self.counters.recv_bytes += (payload.len() * 4) as u64;
+        payload
+    }
+
+    /// Non-blocking probe-and-receive: returns a matching message if one has
+    /// already arrived. Used by the trainer to drain whichever remote block
+    /// lands first (Algorithm 1 lines 7–9 iterate the receive set in any
+    /// completion order).
+    pub fn try_recv(&mut self, from: usize, tag: u32) -> Option<Vec<f32>> {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from as u32 && m.tag == tag)
+        {
+            let m = self.pending.swap_remove(pos);
+            self.counters.recv_messages += 1;
+            self.counters.recv_bytes += (m.payload.len() * 4) as u64;
+            return Some(m.payload);
+        }
+        while let Ok(m) = self.receiver.try_recv() {
+            if m.from == from as u32 && m.tag == tag {
+                self.counters.recv_messages += 1;
+                self.counters.recv_bytes += (m.payload.len() * 4) as u64;
+                return Some(m.payload);
+            }
+            self.pending.push(m);
+        }
+        None
+    }
+
+    fn recv_inner(&mut self, from: u32, tag: u32) -> Vec<f32> {
+        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
+            return self.pending.swap_remove(pos).payload;
+        }
+        loop {
+            let m = self.receiver.recv().expect("peer rank hung up");
+            if m.from == from && m.tag == tag {
+                return m.payload;
+            }
+            self.pending.push(m);
+        }
+    }
+
+    /// Synchronizes all ranks.
+    pub fn barrier(&mut self) {
+        let start = Instant::now();
+        self.barrier.wait();
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Allreduce-sum over `buf` (Algorithm 2 line 13: `ΔW` aggregation).
+    ///
+    /// Rank 0 gathers contributions, sums them **in rank order** (bitwise
+    /// deterministic), and broadcasts the result. Costed as 2(p−1) messages
+    /// at the root, like a flat-tree MPI implementation; the cost *model*
+    /// prices allreduce separately as a log-tree (costmodel::allreduce_time).
+    pub fn allreduce_sum(&mut self, buf: &mut [f32]) {
+        let start = Instant::now();
+        let bytes = (buf.len() * 4) as u64;
+        if self.p > 1 {
+            if self.rank == 0 {
+                for from in 1..self.p {
+                    let contrib = self.recv_inner(from as u32, TAG_ALLREDUCE);
+                    assert_eq!(contrib.len(), buf.len(), "allreduce length mismatch");
+                    for (b, &c) in buf.iter_mut().zip(&contrib) {
+                        *b += c;
+                    }
+                    self.counters.collective_messages += 1;
+                    self.counters.collective_bytes += bytes;
+                }
+                for to in 1..self.p {
+                    self.send_internal(to, TAG_ALLREDUCE, buf.to_vec());
+                    self.counters.collective_messages += 1;
+                    self.counters.collective_bytes += bytes;
+                }
+            } else {
+                self.send_internal(0, TAG_ALLREDUCE, buf.to_vec());
+                let result = self.recv_inner(0, TAG_ALLREDUCE);
+                buf.copy_from_slice(&result);
+                self.counters.collective_messages += 1;
+                self.counters.collective_bytes += bytes;
+            }
+        }
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Broadcast from `root`: on the root `buf` is the source, elsewhere it
+    /// is overwritten. Used by the CAGNET baseline's turn-wise broadcasts.
+    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>) {
+        let start = Instant::now();
+        if self.p > 1 {
+            if self.rank == root {
+                for to in 0..self.p {
+                    if to != root {
+                        self.send_internal(to, TAG_BROADCAST, buf.clone());
+                    }
+                }
+                self.counters.collective_messages += (self.p - 1) as u64;
+                self.counters.collective_bytes += ((self.p - 1) * buf.len() * 4) as u64;
+            } else {
+                *buf = self.recv_inner(root as u32, TAG_BROADCAST);
+                self.counters.collective_messages += 1;
+                self.counters.collective_bytes += (buf.len() * 4) as u64;
+            }
+        }
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Gathers each rank's buffer to `root`, returning `Some(vec-of-bufs)`
+    /// in rank order at the root and `None` elsewhere.
+    pub fn gather(&mut self, root: usize, buf: Vec<f32>) -> Option<Vec<Vec<f32>>> {
+        let start = Instant::now();
+        let out = if self.rank == root {
+            let mut all: Vec<Vec<f32>> = Vec::with_capacity(self.p);
+            for from in 0..self.p {
+                if from == root {
+                    all.push(buf.clone());
+                } else {
+                    let m = self.recv_inner(from as u32, TAG_GATHER);
+                    self.counters.collective_messages += 1;
+                    self.counters.collective_bytes += (m.len() * 4) as u64;
+                    all.push(m);
+                }
+            }
+            Some(all)
+        } else {
+            self.send_internal(root, TAG_GATHER, buf);
+            None
+        };
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Internal send without the user-facing counter/tag policy.
+    fn send_internal(&mut self, to: usize, tag: u32, payload: Vec<f32>) {
+        self.senders[to]
+            .send(Message { from: self.rank as u32, tag, payload })
+            .expect("peer rank hung up");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_exchange() {
+        let results = Communicator::run(4, |ctx| {
+            let next = (ctx.rank() + 1) % 4;
+            let prev = (ctx.rank() + 3) % 4;
+            ctx.isend(next, 7, vec![ctx.rank() as f32]);
+            let got = ctx.recv(prev, 7);
+            got[0] as usize
+        });
+        assert_eq!(results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let results = Communicator::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(1, 1, vec![1.0]);
+                ctx.isend(1, 2, vec![2.0]);
+                0.0
+            } else {
+                // Receive in reverse tag order: matching must buffer tag 1.
+                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn allreduce_sums_in_rank_order() {
+        let results = Communicator::run(5, |ctx| {
+            let mut buf = vec![ctx.rank() as f32, 1.0];
+            ctx.allreduce_sum(&mut buf);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all() {
+        let results = Communicator::run(3, |ctx| {
+            let mut buf = if ctx.rank() == 1 { vec![3.5, 4.5] } else { Vec::new() };
+            ctx.broadcast(1, &mut buf);
+            buf
+        });
+        for r in &results {
+            assert_eq!(r, &vec![3.5, 4.5]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = Communicator::run(3, |ctx| ctx.gather(0, vec![ctx.rank() as f32]));
+        assert_eq!(
+            results[0],
+            Some(vec![vec![0.0], vec![1.0], vec![2.0]])
+        );
+        assert_eq!(results[1], None);
+    }
+
+    #[test]
+    fn counters_track_p2p_volume() {
+        let results = Communicator::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(1, 0, vec![0.0; 10]);
+                ctx.counters().clone()
+            } else {
+                ctx.recv(0, 0);
+                ctx.counters().clone()
+            }
+        });
+        assert_eq!(results[0].sent_messages, 1);
+        assert_eq!(results[0].sent_bytes, 40);
+        assert_eq!(results[1].recv_messages, 1);
+        assert_eq!(results[1].recv_bytes, 40);
+    }
+
+    #[test]
+    fn try_recv_returns_none_before_arrival() {
+        Communicator::run(2, |ctx| {
+            if ctx.rank() == 1 {
+                // Nothing sent yet (rank 0 waits on a barrier first).
+                assert!(ctx.try_recv(0, 3).is_none());
+            }
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                ctx.isend(1, 3, vec![9.0]);
+            } else {
+                // Spin until it lands.
+                loop {
+                    if let Some(m) = ctx.try_recv(0, 3) {
+                        assert_eq!(m, vec![9.0]);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let results = Communicator::run(1, |ctx| {
+            let mut buf = vec![5.0];
+            ctx.allreduce_sum(&mut buf);
+            ctx.broadcast(0, &mut buf);
+            ctx.barrier();
+            buf
+        });
+        assert_eq!(results[0], vec![5.0]);
+    }
+
+    #[test]
+    fn nonblocking_send_does_not_deadlock_without_receiver_progress() {
+        // Both ranks send many messages before either receives: with
+        // blocking sends this deadlocks; with isend it must complete.
+        Communicator::run(2, |ctx| {
+            let other = 1 - ctx.rank();
+            for i in 0..100u32 {
+                ctx.isend(other, i, vec![i as f32; 64]);
+            }
+            for i in 0..100u32 {
+                let m = ctx.recv(other, i);
+                assert_eq!(m[0], i as f32);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-sends")]
+    fn self_send_panics() {
+        Communicator::run(1, |ctx| {
+            ctx.isend(0, 0, vec![1.0]);
+        });
+    }
+}

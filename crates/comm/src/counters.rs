@@ -1,0 +1,68 @@
+//! Per-rank communication counters and phase timers.
+//!
+//! These counters are the runtime-side ground truth for Table 2's volume and
+//! message metrics; the `pargcn-core` tests assert they agree exactly with
+//! the static predictions of `pargcn_partition::metrics`.
+
+/// Message/byte counts and blocking-time accounting for one rank.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommCounters {
+    /// Point-to-point messages sent via `isend`.
+    pub sent_messages: u64,
+    /// Point-to-point payload bytes sent via `isend`.
+    pub sent_bytes: u64,
+    /// Point-to-point messages received.
+    pub recv_messages: u64,
+    /// Point-to-point payload bytes received.
+    pub recv_bytes: u64,
+    /// Messages attributed to collectives (allreduce/broadcast).
+    pub collective_messages: u64,
+    /// Bytes attributed to collectives.
+    pub collective_bytes: u64,
+    /// Wall seconds this rank spent blocked in receives and collectives.
+    pub comm_seconds: f64,
+}
+
+impl CommCounters {
+    /// Element-wise sum; used to aggregate counters across ranks.
+    pub fn merged(ranks: &[CommCounters]) -> CommCounters {
+        let mut out = CommCounters::default();
+        for c in ranks {
+            out.sent_messages += c.sent_messages;
+            out.sent_bytes += c.sent_bytes;
+            out.recv_messages += c.recv_messages;
+            out.recv_bytes += c.recv_bytes;
+            out.collective_messages += c.collective_messages;
+            out.collective_bytes += c.collective_bytes;
+            out.comm_seconds += c.comm_seconds;
+        }
+        out
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = CommCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = CommCounters { sent_messages: 2, sent_bytes: 100, ..Default::default() };
+        let b = CommCounters { sent_messages: 3, recv_bytes: 50, ..Default::default() };
+        let m = CommCounters::merged(&[a, b]);
+        assert_eq!(m.sent_messages, 5);
+        assert_eq!(m.sent_bytes, 100);
+        assert_eq!(m.recv_bytes, 50);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = CommCounters { sent_messages: 9, comm_seconds: 1.5, ..Default::default() };
+        c.reset();
+        assert_eq!(c, CommCounters::default());
+    }
+}

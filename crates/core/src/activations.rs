@@ -1,0 +1,66 @@
+//! Activation functions `σ` and their derivatives `σ'` (paper Eq. 1–3).
+
+use pargcn_matrix::Dense;
+
+/// Element-wise activation applied to `Zᵏ` to form `Hᵏ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit, the paper's hidden-layer activation.
+    Relu,
+    /// Identity, used at the output layer (softmax lives in the loss).
+    Identity,
+}
+
+impl Activation {
+    /// `H = σ(Z)`.
+    pub fn apply(&self, z: &Dense) -> Dense {
+        match self {
+            Activation::Relu => z.map(|v| v.max(0.0)),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// `σ'(Z)`, element-wise.
+    pub fn derivative(&self, z: &Dense) -> Dense {
+        match self {
+            Activation::Relu => z.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Identity => z.map(|_| 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let z = Dense::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        assert_eq!(Activation::Relu.apply(&z).data(), &[0.0, 0.0, 0.5, 2.0]);
+        assert_eq!(Activation::Relu.derivative(&z).data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn identity_is_noop_with_unit_derivative() {
+        let z = Dense::from_vec(1, 3, vec![-1.0, 0.0, 3.0]);
+        assert_eq!(Activation::Identity.apply(&z).data(), z.data());
+        assert_eq!(Activation::Identity.derivative(&z).data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_derivative_consistent_with_finite_difference() {
+        let z = Dense::from_vec(1, 2, vec![0.7, -0.3]);
+        let eps = 1e-3f32;
+        let d = Activation::Relu.derivative(&z);
+        for j in 0..2 {
+            let mut zp = z.clone();
+            zp.set(0, j, z.get(0, j) + eps);
+            let mut zm = z.clone();
+            zm.set(0, j, z.get(0, j) - eps);
+            let fd = (Activation::Relu.apply(&zp).get(0, j)
+                - Activation::Relu.apply(&zm).get(0, j))
+                / (2.0 * eps);
+            assert!((fd - d.get(0, j)).abs() < 1e-3);
+        }
+    }
+}

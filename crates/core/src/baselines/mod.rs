@@ -1,0 +1,5 @@
+//! Comparison baselines: the CAGNET-style broadcast training algorithm
+//! (§5: "the algorithm most related to our own") and, in
+//! [`crate::serial`], the single-node DGL-role implementation.
+
+pub mod cagnet;

@@ -1,0 +1,183 @@
+//! Parameter checkpointing: a small self-describing binary format for
+//! saving and restoring trained [`Params`], so long experiments (deeper
+//! GCNs, billion-scale runs) can resume and trained models can be shipped.
+//!
+//! Format (little-endian):
+//! ```text
+//! magic "PGCN"  | u32 version | u32 layer count
+//! per layer:  u32 rows | u32 cols | rows·cols × f32 (row-major)
+//! trailer:    u64 FNV-1a checksum over everything above
+//! ```
+//! The checksum catches truncation and corruption; version gates future
+//! layout changes. Plain `std::io`, no serialization dependency.
+
+use crate::model::Params;
+use pargcn_matrix::Dense;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PGCN";
+const VERSION: u32 = 1;
+
+/// Streaming FNV-1a, fed by every byte written/read before the trailer.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Saves parameters to `path`.
+pub fn save(params: &Params, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = io::BufWriter::new(file);
+    let mut hash = Fnv::new();
+    let write = |out: &mut io::BufWriter<std::fs::File>, hash: &mut Fnv, bytes: &[u8]| {
+        hash.update(bytes);
+        out.write_all(bytes)
+    };
+    write(&mut out, &mut hash, MAGIC)?;
+    write(&mut out, &mut hash, &VERSION.to_le_bytes())?;
+    write(&mut out, &mut hash, &(params.weights.len() as u32).to_le_bytes())?;
+    for w in &params.weights {
+        write(&mut out, &mut hash, &(w.rows() as u32).to_le_bytes())?;
+        write(&mut out, &mut hash, &(w.cols() as u32).to_le_bytes())?;
+        for &v in w.data() {
+            write(&mut out, &mut hash, &v.to_le_bytes())?;
+        }
+    }
+    out.write_all(&hash.0.to_le_bytes())?;
+    out.flush()
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Loads parameters from `path`, verifying magic, version, and checksum.
+pub fn load(path: &Path) -> io::Result<Params> {
+    let mut file = io::BufReader::new(std::fs::File::open(path)?);
+    let mut hash = Fnv::new();
+    let read_exact = |file: &mut io::BufReader<std::fs::File>,
+                          hash: &mut Fnv,
+                          buf: &mut [u8]|
+     -> io::Result<()> {
+        file.read_exact(buf)?;
+        hash.update(buf);
+        Ok(())
+    };
+
+    let mut magic = [0u8; 4];
+    read_exact(&mut file, &mut hash, &mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a pargcn checkpoint"));
+    }
+    let mut u32buf = [0u8; 4];
+    read_exact(&mut file, &mut hash, &mut u32buf)?;
+    if u32::from_le_bytes(u32buf) != VERSION {
+        return Err(bad("unsupported checkpoint version"));
+    }
+    read_exact(&mut file, &mut hash, &mut u32buf)?;
+    let layers = u32::from_le_bytes(u32buf) as usize;
+    if layers > 4096 {
+        return Err(bad("implausible layer count"));
+    }
+
+    let mut weights = Vec::with_capacity(layers);
+    for _ in 0..layers {
+        read_exact(&mut file, &mut hash, &mut u32buf)?;
+        let rows = u32::from_le_bytes(u32buf) as usize;
+        read_exact(&mut file, &mut hash, &mut u32buf)?;
+        let cols = u32::from_le_bytes(u32buf) as usize;
+        let count = rows
+            .checked_mul(cols)
+            .filter(|&c| c <= (1 << 31))
+            .ok_or_else(|| bad("implausible layer shape"))?;
+        let mut data = Vec::with_capacity(count);
+        let mut f32buf = [0u8; 4];
+        for _ in 0..count {
+            read_exact(&mut file, &mut hash, &mut f32buf)?;
+            data.push(f32::from_le_bytes(f32buf));
+        }
+        weights.push(Dense::from_vec(rows, cols, data));
+    }
+    let mut trailer = [0u8; 8];
+    file.read_exact(&mut trailer)?;
+    if u64::from_le_bytes(trailer) != hash.0 {
+        return Err(bad("checksum mismatch: checkpoint corrupted"));
+    }
+    Ok(Params { weights })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GcnConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pargcn_ckpt_{name}_{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise_exact() {
+        let params = GcnConfig::two_layer(7, 5, 3).init_params(42);
+        let path = tmp("roundtrip");
+        save(&params, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(params.weights.len(), back.weights.len());
+        for (a, b) in params.weights.iter().zip(&back.weights) {
+            assert_eq!(a.data(), b.data());
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let params = GcnConfig::two_layer(4, 4, 2).init_params(1);
+        let path = tmp("truncated");
+        save(&params, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let params = GcnConfig::two_layer(4, 4, 2).init_params(1);
+        let path = tmp("corrupt");
+        save(&params, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path).is_err(), "flipped byte must fail the checksum");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_params_roundtrip() {
+        let params = Params { weights: vec![] };
+        let path = tmp("empty");
+        save(&params, &path).unwrap();
+        assert_eq!(load(&path).unwrap().weights.len(), 0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,57 @@
+//! Algorithm 2: parallel backpropagation.
+//!
+//! Per layer `k = L…1`, each rank:
+//!
+//! 1. exchanges `Gᵏ` rows with the same non-blocking point-to-point pattern
+//!    as feedforward (lines 4–10), computing its block of `Â'Gᵏ` where
+//!    `Â' = Âᵀ` for directed graphs (§3.1) and `Â` otherwise;
+//! 2. forms `Sᵏₘ = (Â'Gᵏ)ₘ(Wᵏ)ᵀ` and the local parameter-gradient partial
+//!    `ΔWᵏₘ = (H^{k-1}ₘ)ᵀ(Â'Gᵏ)ₘ` (lines 7, 10–12) — both pure local DMMs
+//!    because `(Â'Gᵏ)ₘ` was just computed and `H` is conformably
+//!    partitioned;
+//! 3. allreduce-sums `ΔWᵏ` (line 13) and applies the SGD update locally on
+//!    the replicated `Wᵏ` (line 14) — every rank computes the identical
+//!    update, keeping the replicas in lock-step;
+//! 4. propagates `G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1})` (line 11).
+
+use super::{feedforward, LocalForward, RankState, TAG_BWD};
+use pargcn_comm::RankCtx;
+use pargcn_matrix::Dense;
+
+/// Runs backpropagation from the local output-layer loss gradient
+/// `∇_{H^L} Jₘ`, updating `st.params` in place (identically on all ranks).
+/// Returns the local gradient flow for inspection by tests.
+pub fn run(
+    ctx: &mut RankCtx,
+    st: &mut RankState<'_>,
+    fwd: &LocalForward,
+    grad_hl_local: &Dense,
+) {
+    let layers = st.config.layers();
+    // Line 2: G^L = ∇_{H^L} J ⊙ σ'(Z^L).
+    let mut g = grad_hl_local.hadamard(&st.config.activation(layers).derivative(&fwd.z[layers - 1]));
+
+    for k in (1..=layers).rev() {
+        // Lines 4–10: the point-to-point exchange computing (Â'Gᵏ)ₘ.
+        let ag = feedforward::spmm_exchange_with_plan(ctx, st.plan_b, &g, TAG_BWD + k as u32);
+
+        // Line 12: local partial ΔWᵏₘ = (H^{k-1}ₘ)ᵀ (Â'Gᵏ)ₘ.
+        let mut delta_w = fwd.h[k - 1].matmul_at(&ag);
+
+        // Sᵏ must use the *pre-update* Wᵏ (line 7 precedes line 14).
+        let s = if k > 1 { Some(ag.matmul_bt(&st.params.weights[k - 1])) } else { None };
+
+        // Line 13: ΔWᵏ = allreduce-sum(ΔWᵏₘ) — deterministic rank-order sum.
+        ctx.allreduce_sum(delta_w.data_mut());
+
+        // Line 14: replicated parameter update (SGD or Adam; the optimizer
+        // state is replicated and deterministic, so replicas stay in step).
+        st.opt_state.apply(k - 1, &mut st.params.weights[k - 1], &delta_w, st.config.learning_rate);
+
+        // Line 11: G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1}).
+        if let Some(s) = s {
+            g = s.hadamard(&st.config.activation(k - 1).derivative(&fwd.z[k - 2]));
+        }
+    }
+    st.opt_state.advance();
+}

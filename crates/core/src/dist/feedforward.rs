@@ -1,0 +1,108 @@
+//! Algorithm 1: parallel feedforward.
+//!
+//! Per layer `k`, each rank:
+//!
+//! 1. for every selector `Xₘₙ ∈ Sₘ`, gathers the needed local `H^{k-1}`
+//!    rows (`Xₘₙ ⊗ H`, here a row gather) and posts a **non-blocking send**
+//!    to `Pₙ` (lines 3–5);
+//! 2. multiplies its diagonal block against the local feature block
+//!    *without waiting* (line 6 — the overlap);
+//! 3. receives each peer's rows (any completion order, via `try_recv`
+//!    draining) and accumulates the off-diagonal products (lines 7–9);
+//! 4. applies the replicated `Wᵏ` (pure local DMM) and the activation
+//!    (line 10).
+//!
+//! One deviation from the paper's literal pseudocode: lines 6/9 write
+//! `(AₘH)Wᵏ` per contribution; we accumulate `AₘH` first and apply `Wᵏ`
+//! once — algebraically identical (distributivity) and fewer DMM FLOPs.
+
+use super::{LocalForward, RankState, TAG_FWD};
+use crate::model::LayerOrder;
+use pargcn_comm::RankCtx;
+use pargcn_matrix::{gather, Dense};
+
+/// Runs the full feedforward pass, returning local intermediates.
+pub fn run(ctx: &mut RankCtx, st: &RankState<'_>) -> LocalForward {
+    let layers = st.config.layers();
+    let mut z = Vec::with_capacity(layers);
+    let mut h = Vec::with_capacity(layers + 1);
+    h.push(st.h0.clone());
+    for k in 1..=layers {
+        let w = &st.params.weights[k - 1];
+        let zk = match st.config.order {
+            LayerOrder::SpmmFirst => {
+                let ah = spmm_exchange(ctx, st, &h[k - 1], TAG_FWD + k as u32);
+                ah.matmul(w)
+            }
+            LayerOrder::DmmFirst => {
+                // §4.4: transform locally first, then aggregate with the
+                // *same* communication pattern (messages carry d_out-wide
+                // rows instead of d_in-wide ones).
+                let hw = h[k - 1].matmul(w);
+                spmm_exchange(ctx, st, &hw, TAG_FWD + k as u32)
+            }
+        };
+        let hk = st.config.activation(k).apply(&zk);
+        z.push(zk);
+        h.push(hk);
+    }
+    LocalForward { z, h }
+}
+
+/// The communication core shared by feedforward (on `H`) and
+/// backpropagation (on `G`): computes this rank's block of `A · X` where
+/// `x_local` is the locally-owned row block of `X`.
+pub fn spmm_exchange(
+    ctx: &mut RankCtx,
+    st: &RankState<'_>,
+    x_local: &Dense,
+    tag: u32,
+) -> Dense {
+    spmm_exchange_with_plan(ctx, if tag >= super::TAG_BWD { st.plan_b } else { st.plan_f }, x_local, tag)
+}
+
+/// As [`spmm_exchange`] with an explicit plan (used directly by tests).
+pub fn spmm_exchange_with_plan(
+    ctx: &mut RankCtx,
+    plan: &crate::plan::RankPlan,
+    x_local: &Dense,
+    tag: u32,
+) -> Dense {
+    let d = x_local.cols();
+
+    // Lines 3–5: gather and non-blocking-send the rows each peer needs.
+    let mut payload = Vec::new();
+    for ss in &plan.send {
+        gather::gather_rows_into(x_local, &ss.local_indices, &mut payload);
+        ctx.isend(ss.peer, tag, std::mem::take(&mut payload));
+    }
+
+    // Line 6: local block product, overlapping the in-flight messages.
+    let mut ax = Dense::zeros(plan.n_local(), d);
+    plan.a_own.spmm_into(x_local, &mut ax, true);
+
+    // Lines 7–9: drain receives in completion order and accumulate.
+    let mut outstanding: Vec<&crate::plan::RemoteBlock> = plan.a_remote.iter().collect();
+    while !outstanding.is_empty() {
+        let mut progressed = false;
+        outstanding.retain(|block| {
+            if let Some(data) = ctx.try_recv(block.peer, tag) {
+                let x_recv = Dense::from_vec(block.rows.len(), d, data);
+                block.a.spmm_into(&x_recv, &mut ax, true);
+                progressed = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !progressed {
+            // Nothing ready: block on the first outstanding peer instead of
+            // spinning (keeps the thread-based runtime efficient).
+            let block = outstanding.remove(0);
+            let data = ctx.recv(block.peer, tag);
+            let x_recv = Dense::from_vec(block.rows.len(), d, data);
+            block.a.spmm_into(&x_recv, &mut ax, true);
+        }
+    }
+    ax
+}

@@ -1,0 +1,50 @@
+//! The distributed training algorithms: Algorithm 1 (parallel feedforward)
+//! and Algorithm 2 (parallel backpropagation) over the message-passing
+//! runtime, orchestrated by [`trainer`].
+
+pub mod backprop;
+pub mod feedforward;
+pub mod trainer;
+
+pub use trainer::{train_full_batch, DistOutcome};
+
+use crate::model::{GcnConfig, Params};
+use crate::optim::OptimizerState;
+use crate::plan::RankPlan;
+use pargcn_matrix::Dense;
+
+/// Everything one rank holds during training: its slice of the plan and
+/// data, plus the replicated parameters.
+pub struct RankState<'a> {
+    /// Feedforward-direction plan (pattern of `Â`).
+    pub plan_f: &'a RankPlan,
+    /// Backpropagation-direction plan (pattern of `Âᵀ`; same object as
+    /// `plan_f` for undirected graphs).
+    pub plan_b: &'a RankPlan,
+    pub config: &'a GcnConfig,
+    /// Replicated parameter matrices (identical on every rank).
+    pub params: Params,
+    /// Local block of the input features `H⁰ₘ`.
+    pub h0: Dense,
+    /// Labels of owned vertices.
+    pub labels: Vec<u32>,
+    /// Training mask of owned vertices.
+    pub mask: Vec<bool>,
+    /// Global count of masked vertices (loss normalizer, same on all ranks).
+    pub mask_total: f64,
+    /// Replicated optimizer state (kept in lock-step like the parameters).
+    pub opt_state: OptimizerState,
+}
+
+/// Local intermediates of one forward pass (per rank).
+pub struct LocalForward {
+    /// `Z¹ₘ…Z^Lₘ`.
+    pub z: Vec<Dense>,
+    /// `H⁰ₘ…H^Lₘ`.
+    pub h: Vec<Dense>,
+}
+
+/// Base tag for feedforward layer messages; layer `k` uses `TAG_FWD + k`.
+pub const TAG_FWD: u32 = 0;
+/// Base tag for backpropagation layer messages.
+pub const TAG_BWD: u32 = 4096;

@@ -1,0 +1,184 @@
+//! Orchestration of distributed full-batch training: builds the plans,
+//! distributes the data, spawns the ranks, and assembles global results.
+
+use super::{backprop, feedforward, RankState};
+use crate::loss;
+use crate::model::{GcnConfig, Params};
+use crate::plan::CommPlan;
+use pargcn_comm::{CommCounters, Communicator};
+use pargcn_graph::Graph;
+use pargcn_matrix::{gather, Dense};
+use pargcn_partition::Partition;
+use std::time::Instant;
+
+/// Global results of a distributed training run.
+pub struct DistOutcome {
+    /// Per-epoch global training loss (identical on every rank).
+    pub losses: Vec<f64>,
+    /// Final parameters (replicated; taken from rank 0).
+    pub params: Params,
+    /// Output-layer logits for every vertex, assembled in global order.
+    pub predictions: Dense,
+    /// Per-rank communication counters, accumulated over all epochs.
+    pub counters: Vec<CommCounters>,
+    /// Per-rank wall-clock seconds spent training (excluding plan build).
+    pub rank_seconds: Vec<f64>,
+}
+
+impl DistOutcome {
+    /// Slowest rank's wall time — the parallel running time.
+    pub fn wall_seconds(&self) -> f64 {
+        self.rank_seconds.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+struct RankResult {
+    pred: Dense,
+    counters: CommCounters,
+    losses: Vec<f64>,
+    params: Params,
+    seconds: f64,
+}
+
+/// Trains an L-layer GCN for `epochs` full-batch epochs on `p` ranks
+/// (one thread per rank), with masked softmax cross-entropy.
+///
+/// Functionally equivalent to [`crate::serial::SerialTrainer`] with the
+/// same `param_seed` — that equivalence, for arbitrary partitions, is the
+/// correctness contract of the whole algorithm and is enforced by the
+/// test-suite.
+pub fn train_full_batch(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    epochs: usize,
+    param_seed: u64,
+) -> DistOutcome {
+    let a = graph.normalized_adjacency();
+    let plan_f = CommPlan::build(&a, part);
+    let plan_b = if graph.directed() {
+        CommPlan::build(&a.transpose(), part)
+    } else {
+        plan_f.clone()
+    };
+    let init = config.init_params(param_seed);
+    train_with_plans(&plan_f, &plan_b, h0, labels, mask, config, epochs, init)
+}
+
+/// Training core over prebuilt plans with explicit initial parameters
+/// (mini-batch training reuses this per batch, carrying parameters over).
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_plans(
+    plan_f: &CommPlan,
+    plan_b: &CommPlan,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    config: &GcnConfig,
+    epochs: usize,
+    init: Params,
+) -> DistOutcome {
+    let p = plan_f.p;
+    let n = plan_f.n;
+    assert_eq!(h0.rows(), n, "feature rows mismatch");
+    assert_eq!(labels.len(), n, "labels mismatch");
+    assert_eq!(mask.len(), n, "mask mismatch");
+    let mask_total = mask.iter().filter(|&&m| m).count().max(1) as f64;
+
+    // Pre-slice every rank's local data on the main thread.
+    let locals: Vec<(Dense, Vec<u32>, Vec<bool>)> = plan_f
+        .ranks
+        .iter()
+        .map(|rp| {
+            let h_local = gather::gather_rows(h0, &rp.local_rows);
+            let l_local: Vec<u32> =
+                rp.local_rows.iter().map(|&v| labels[v as usize]).collect();
+            let m_local: Vec<bool> =
+                rp.local_rows.iter().map(|&v| mask[v as usize]).collect();
+            (h_local, l_local, m_local)
+        })
+        .collect();
+
+    let results: Vec<RankResult> = Communicator::run(p, |ctx| {
+        let m = ctx.rank();
+        let (h_local, l_local, m_local) = &locals[m];
+        let mut st = RankState {
+            plan_f: &plan_f.ranks[m],
+            plan_b: &plan_b.ranks[m],
+            config,
+            params: init.clone(),
+            h0: h_local.clone(),
+            labels: l_local.clone(),
+            mask: m_local.clone(),
+            mask_total,
+            opt_state: crate::optim::OptimizerState::new(config.optimizer, &config.shapes()),
+        };
+        let start = Instant::now();
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let fwd = feedforward::run(ctx, &st);
+            let hl = &fwd.h[config.layers()];
+            let (loss_local, grad_local) =
+                local_loss_and_grad(hl, &st.labels, &st.mask, mask_total);
+            // Global loss: allreduce of the local sums.
+            let mut buf = [loss_local as f32];
+            ctx.allreduce_sum(&mut buf);
+            losses.push(buf[0] as f64);
+            backprop::run(ctx, &mut st, &fwd, &grad_local);
+        }
+        // Final predictions with the trained parameters.
+        let fwd = feedforward::run(ctx, &st);
+        let pred = fwd.h.into_iter().last().unwrap();
+        RankResult {
+            pred,
+            counters: ctx.counters().clone(),
+            losses,
+            params: st.params,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    });
+
+    // Assemble global predictions.
+    let classes = config.dims[config.layers()];
+    let mut predictions = Dense::zeros(n, classes);
+    for (rp, res) in plan_f.ranks.iter().zip(&results) {
+        gather::scatter_rows(&res.pred, &rp.local_rows, &mut predictions);
+    }
+    let losses = results[0].losses.clone();
+    let params = results[0].params.clone();
+    let counters = results.iter().map(|r| r.counters.clone()).collect();
+    let rank_seconds = results.iter().map(|r| r.seconds).collect();
+    DistOutcome { losses, params, predictions, counters, rank_seconds }
+}
+
+/// Local masked cross-entropy: the *sum* of masked row losses divided by
+/// the global mask count, and the loss gradient for the local rows.
+/// Allreducing the per-rank values yields the identical global loss the
+/// serial trainer computes.
+fn local_loss_and_grad(
+    hl: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    mask_total: f64,
+) -> (f64, Dense) {
+    let probs = loss::softmax_rows(hl);
+    let mut grad = Dense::zeros(hl.rows(), hl.cols());
+    let mut total = 0.0f64;
+    for i in 0..hl.rows() {
+        if !mask[i] {
+            continue;
+        }
+        let y = labels[i] as usize;
+        let pv = probs.get(i, y).max(1e-12);
+        total -= (pv as f64).ln();
+        let g = grad.row_mut(i);
+        for (j, gv) in g.iter_mut().enumerate() {
+            let indicator = if j == y { 1.0 } else { 0.0 };
+            *gv = (probs.get(i, j) - indicator) / mask_total as f32;
+        }
+    }
+    (total / mask_total, grad)
+}

@@ -1,0 +1,162 @@
+//! Distributed mini-batch training (§4.3.3's workload).
+//!
+//! Each step samples a subgraph `G' ⊂ G`, normalizes its adjacency, builds
+//! the per-batch communication plan under the *global* row partition
+//! (vertices keep their home processor — DistDGL-style co-location), and
+//! runs one full-batch step on the subgraph, carrying parameters across
+//! batches. [`expected_comm_volume`] measures the per-batch point-to-point
+//! volume a partition induces — the quantity Fig. 5 compares between HP
+//! and SHP.
+
+use crate::dist::trainer::{train_with_plans, DistOutcome};
+use crate::model::{GcnConfig, Params};
+use crate::plan::CommPlan;
+use pargcn_graph::Graph;
+use pargcn_matrix::{gather, norm, Dense};
+use pargcn_partition::{metrics, Partition};
+
+/// Restriction of a global partition to a batch's vertices: part ids keep
+/// their meaning (rank `m` still owns its vertices), rows renumber to the
+/// batch-local space.
+pub fn restrict_partition(part: &Partition, batch: &[u32]) -> Partition {
+    let assignment: Vec<u32> = batch.iter().map(|&v| part.part_of(v as usize)).collect();
+    Partition::new(assignment, part.p())
+}
+
+/// Exact point-to-point row volume of one mini-batch convolution sweep
+/// under `part`: the sub-adjacency's comm volume with vertices on their
+/// home processors.
+pub fn batch_comm_volume(graph: &Graph, batch: &[u32], part: &Partition) -> u64 {
+    let sub = graph.induced_subgraph(batch);
+    let a = norm::normalize_adjacency(sub.adjacency());
+    let sub_part = restrict_partition(part, batch);
+    metrics::spmm_comm_stats(&a, &sub_part).total_rows
+}
+
+/// Total and per-batch expected communication volume over a batch set —
+/// the Fig. 5 "Msg Vol" metric (in rows; multiply by `Σ(d_{k-1}+d_k)·4`
+/// for bytes across a full training sweep).
+pub fn expected_comm_volume(
+    graph: &Graph,
+    batches: &[Vec<u32>],
+    part: &Partition,
+) -> (u64, Vec<u64>) {
+    let per: Vec<u64> = batches.iter().map(|b| batch_comm_volume(graph, b, part)).collect();
+    (per.iter().sum(), per)
+}
+
+/// Outcome of a mini-batch training run.
+pub struct MinibatchOutcome {
+    /// Per-batch training loss (over the batch's masked vertices).
+    pub losses: Vec<f64>,
+    /// Final parameters.
+    pub params: Params,
+    /// Total point-to-point rows exchanged across all batches (feedforward
+    /// direction plans; one sweep's volume × layers × 2 gives a full-epoch
+    /// figure).
+    pub total_volume_rows: u64,
+}
+
+/// Trains over the given mini-batches (one step each), distributing every
+/// batch across the same `part.p()` ranks under the global partition.
+pub fn train(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    batches: &[Vec<u32>],
+    param_seed: u64,
+) -> MinibatchOutcome {
+    let mut params = config.init_params(param_seed);
+    let mut losses = Vec::with_capacity(batches.len());
+    let mut total_volume = 0u64;
+    for batch in batches {
+        let sub = graph.induced_subgraph(batch);
+        let a = norm::normalize_adjacency(sub.adjacency());
+        let sub_part = restrict_partition(part, batch);
+        let plan_f = CommPlan::build(&a, &sub_part);
+        let plan_b =
+            if sub.directed() { CommPlan::build(&a.transpose(), &sub_part) } else { plan_f.clone() };
+        total_volume += plan_f.total_volume_rows();
+
+        let h_batch = gather::gather_rows(h0, batch);
+        let l_batch: Vec<u32> = batch.iter().map(|&v| labels[v as usize]).collect();
+        let m_batch: Vec<bool> = batch.iter().map(|&v| mask[v as usize]).collect();
+        if !m_batch.iter().any(|&m| m) {
+            // No labelled vertices sampled: skip the step (no gradient).
+            continue;
+        }
+        let out: DistOutcome = train_with_plans(
+            &plan_f,
+            &plan_b,
+            &h_batch,
+            &l_batch,
+            &m_batch,
+            config,
+            1,
+            params,
+        );
+        params = out.params;
+        losses.push(out.losses[0]);
+    }
+    MinibatchOutcome { losses, params, total_volume_rows: total_volume }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargcn_graph::gen::sbm::{self, SbmParams};
+    use pargcn_partition::stochastic::{sample_batches, Sampler};
+    use pargcn_partition::{partition_rows, Method};
+
+    fn setup() -> (Graph, Dense, Vec<u32>, Vec<bool>) {
+        let d = sbm::generate(
+            SbmParams { n: 240, classes: 4, features: 8, ..Default::default() },
+            3,
+        );
+        (d.graph, d.features, d.labels, d.train_mask)
+    }
+
+    #[test]
+    fn restriction_keeps_home_processors() {
+        let part = Partition::new(vec![0, 1, 2, 0, 1, 2], 3);
+        let sub = restrict_partition(&part, &[1, 3, 5]);
+        assert_eq!(sub.assignment(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn batch_volume_zero_for_single_part() {
+        let (g, ..) = setup();
+        let part = Partition::trivial(g.n());
+        assert_eq!(batch_comm_volume(&g, &[0, 1, 2, 3, 4, 5, 6, 7], &part), 0);
+    }
+
+    #[test]
+    fn minibatch_training_reduces_loss() {
+        let (g, h0, labels, mask) = setup();
+        let a = g.normalized_adjacency();
+        let part = partition_rows(&g, &a, Method::Hp, 3, 0.1, 1);
+        let batches = sample_batches(&g, Sampler::UniformVertex { batch_size: 120 }, 30, 2);
+        let config = GcnConfig::two_layer(8, 12, 4);
+        let out = train(&g, &h0, &labels, &mask, &part, &config, &batches, 5);
+        assert!(out.losses.len() >= 25);
+        let first: f64 = out.losses[..5].iter().sum::<f64>() / 5.0;
+        let last: f64 = out.losses[out.losses.len() - 5..].iter().sum::<f64>() / 5.0;
+        assert!(last < first, "mini-batch loss did not decrease: {first} → {last}");
+        assert!(out.total_volume_rows > 0);
+    }
+
+    #[test]
+    fn expected_volume_sums_batches() {
+        let (g, ..) = setup();
+        let a = g.normalized_adjacency();
+        let part = partition_rows(&g, &a, Method::Rp, 4, 0.1, 7);
+        let batches = sample_batches(&g, Sampler::UniformVertex { batch_size: 60 }, 5, 8);
+        let (total, per) = expected_comm_volume(&g, &batches, &part);
+        assert_eq!(per.len(), 5);
+        assert_eq!(total, per.iter().sum::<u64>());
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! The communication plan: per-rank local blocks and send/receive sets,
+//! precomputed from the adjacency's sparsity pattern and the row partition
+//! (paper §4.1, Eqs. 8–9).
+//!
+//! For each processor `Pₘ` the plan holds:
+//!
+//! * its owned global rows (the 1-D partition of `Â`, `H`, `G`);
+//! * `a_own` — the diagonal block `Aₘ` restricted to owned columns, with
+//!   columns renumbered to local row indices (multiplied against the local
+//!   feature block without any communication, Algorithm 1 line 6);
+//! * `a_remote[n]` — the off-diagonal block restricted to columns owned by
+//!   peer `n`, with columns renumbered to positions in the *received row
+//!   buffer* from `n` (lines 8–9). The receive set `Rₘ` of Eq. 9 is exactly
+//!   the peers with a nonempty block;
+//! * `send[n]` — the diagonal selector `Xₘₙ` of Eq. 8, stored as the local
+//!   indices of the rows peer `n` needs (`Sₘ` is the peers with a nonempty
+//!   list).
+//!
+//! The plan is built serially once before training and is pure data — unit
+//! tests verify it against the paper's equations and against
+//! `pargcn_partition::metrics` ground truth.
+
+use pargcn_comm::costmodel::RankPhaseCost;
+use pargcn_matrix::Csr;
+use pargcn_partition::Partition;
+
+/// Rows to receive from one peer and the block to multiply them against.
+#[derive(Clone, Debug)]
+pub struct RemoteBlock {
+    pub peer: usize,
+    /// Global row ids whose `H`/`G` rows arrive from `peer`, ascending —
+    /// determines the row order inside the message payload.
+    pub rows: Vec<u32>,
+    /// `Aₘ` restricted to those columns; column `c` indexes `rows[c]`.
+    pub a: Csr,
+}
+
+/// The selector `Xₘₙ`: which local rows to gather and send to one peer.
+#[derive(Clone, Debug)]
+pub struct SendSet {
+    pub peer: usize,
+    /// Indices into `local_rows` (ascending), i.e. the nonzero diagonal
+    /// entries of `Xₘₙ` in local coordinates.
+    pub local_indices: Vec<u32>,
+}
+
+/// One rank's share of the plan.
+#[derive(Clone, Debug)]
+pub struct RankPlan {
+    pub rank: usize,
+    /// Owned global rows, ascending.
+    pub local_rows: Vec<u32>,
+    /// Diagonal block; columns renumbered to local row indices.
+    pub a_own: Csr,
+    /// Off-diagonal blocks, one per peer in the receive set `Rₘ`.
+    pub a_remote: Vec<RemoteBlock>,
+    /// Send sets, one per peer in `Sₘ`.
+    pub send: Vec<SendSet>,
+}
+
+impl RankPlan {
+    /// Number of owned rows `n_m`.
+    pub fn n_local(&self) -> usize {
+        self.local_rows.len()
+    }
+
+    /// Total rows this rank sends per SpMM sweep.
+    pub fn sent_rows(&self) -> u64 {
+        self.send.iter().map(|s| s.local_indices.len() as u64).sum()
+    }
+
+    /// Total rows this rank receives per SpMM sweep.
+    pub fn recv_rows(&self) -> u64 {
+        self.a_remote.iter().map(|r| r.rows.len() as u64).sum()
+    }
+}
+
+/// The full p-rank plan for one SpMM direction.
+#[derive(Clone, Debug)]
+pub struct CommPlan {
+    pub ranks: Vec<RankPlan>,
+    pub n: usize,
+    pub p: usize,
+}
+
+impl CommPlan {
+    /// Builds the plan for `A · X` under the row partition `part`.
+    ///
+    /// For backpropagation on a directed graph, pass `Âᵀ` (the paper §3.1);
+    /// undirected graphs reuse the feedforward plan.
+    pub fn build(a: &Csr, part: &Partition) -> CommPlan {
+        assert_eq!(a.n_rows(), a.n_cols(), "plan needs a square matrix");
+        assert_eq!(a.n_rows(), part.n(), "partition size mismatch");
+        let n = a.n_rows();
+        let p = part.p();
+        let members = part.members();
+
+        // Global row id → local index within its owner.
+        let mut local_index = vec![0u32; n];
+        for rows in &members {
+            for (li, &v) in rows.iter().enumerate() {
+                local_index[v as usize] = li as u32;
+            }
+        }
+
+        // First pass: per rank, split needed columns by owner.
+        // needed[m][o] = ascending global columns of Aₘ owned by rank o ≠ m.
+        let mut needed: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p]; p];
+        let mut blocks: Vec<(Csr, Vec<u32>)> = Vec::with_capacity(p); // (Aₘ, col support)
+        for (m, rows) in members.iter().enumerate() {
+            let a_m = a.select_rows(rows);
+            let support = a_m.col_support();
+            for &j in &support {
+                let owner = part.part_of(j as usize) as usize;
+                if owner != m {
+                    needed[m][owner].push(j);
+                }
+            }
+            blocks.push((a_m, support));
+        }
+
+        let mut ranks = Vec::with_capacity(p);
+        for (m, rows) in members.iter().enumerate() {
+            let (a_m, _support) = &blocks[m];
+
+            // Diagonal block: own columns → local indices.
+            let mut own_map = vec![u32::MAX; n];
+            for (li, &v) in rows.iter().enumerate() {
+                own_map[v as usize] = li as u32;
+            }
+            let a_own = a_m
+                .filter_cols(|c| part.part_of(c as usize) as usize == m)
+                .remap_cols(&own_map, rows.len());
+
+            // Off-diagonal blocks per source peer.
+            let mut a_remote = Vec::new();
+            for peer in 0..p {
+                if peer == m || needed[m][peer].is_empty() {
+                    continue;
+                }
+                let recv_rows = needed[m][peer].clone();
+                let mut recv_map = vec![u32::MAX; n];
+                for (pos, &j) in recv_rows.iter().enumerate() {
+                    recv_map[j as usize] = pos as u32;
+                }
+                let block = a_m
+                    .filter_cols(|c| recv_map[c as usize] != u32::MAX)
+                    .remap_cols(&recv_map, recv_rows.len());
+                a_remote.push(RemoteBlock { peer, rows: recv_rows, a: block });
+            }
+
+            // Send sets: invert `needed` — rank m sends to n the rows n
+            // needs from m (Eq. 8: the diagonal of Xₘₙ).
+            let mut send = Vec::new();
+            for peer in 0..p {
+                if peer == m || needed[peer][m].is_empty() {
+                    continue;
+                }
+                let local_indices: Vec<u32> =
+                    needed[peer][m].iter().map(|&j| local_index[j as usize]).collect();
+                send.push(SendSet { peer, local_indices });
+            }
+
+            ranks.push(RankPlan { rank: m, local_rows: rows.clone(), a_own, a_remote, send });
+        }
+        CommPlan { ranks, n, p }
+    }
+
+    /// Exact per-rank cost of one SpMM+DMM phase under this plan, for the
+    /// cost model. Messages carry rows of width `d_msg` (f32); the SpMM
+    /// runs at width `d_spmm`; `dmm_per_row_flops` covers the phase's dense
+    /// multiplies per local row (`2·d_in·d_out` for the feedforward's
+    /// `(ÂH)W`; backpropagation has two DMMs per row, `4·d_k·d_{k-1}`).
+    pub fn phase_costs(
+        &self,
+        d_msg: usize,
+        d_spmm: usize,
+        dmm_per_row_flops: f64,
+    ) -> Vec<RankPhaseCost> {
+        self.ranks
+            .iter()
+            .map(|r| {
+                RankPhaseCost {
+                    local_flops: 2.0 * r.a_own.nnz() as f64 * d_spmm as f64,
+                    remote_flops: 2.0
+                        * r.a_remote.iter().map(|b| b.a.nnz()).sum::<usize>() as f64
+                        * d_spmm as f64,
+                    dmm_flops: r.n_local() as f64 * dmm_per_row_flops,
+                    sent_messages: r.send.len() as u64,
+                    sent_bytes: r.sent_rows() * d_msg as u64 * 4,
+                    recv_messages: r.a_remote.len() as u64,
+                    recv_bytes: r.recv_rows() * d_msg as u64 * 4,
+                }
+            })
+            .collect()
+    }
+
+    /// Total rows exchanged per sweep (= the hypergraph connectivity−1 cut).
+    pub fn total_volume_rows(&self) -> u64 {
+        self.ranks.iter().map(|r| r.sent_rows()).sum()
+    }
+
+    /// Total messages per sweep.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.send.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargcn_graph::gen::er;
+    use pargcn_matrix::{gather, Dense};
+    use pargcn_partition::{metrics, random, Hypergraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> (Csr, Partition) {
+        let g = er::generate(30, 120, true, 3);
+        let a = g.normalized_adjacency();
+        let part = random::partition(30, 4, 7);
+        (a, part)
+    }
+
+    #[test]
+    fn send_and_recv_sets_are_duals() {
+        let (a, part) = sample();
+        let plan = CommPlan::build(&a, &part);
+        for rp in &plan.ranks {
+            for ss in &rp.send {
+                // Peer's remote block from us lists the same global rows.
+                let peer_plan = &plan.ranks[ss.peer];
+                let block = peer_plan
+                    .a_remote
+                    .iter()
+                    .find(|b| b.peer == rp.rank)
+                    .expect("dual block missing");
+                let sent_globals: Vec<u32> = ss
+                    .local_indices
+                    .iter()
+                    .map(|&li| rp.local_rows[li as usize])
+                    .collect();
+                assert_eq!(sent_globals, block.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_volume_matches_metrics_ground_truth() {
+        let (a, part) = sample();
+        let plan = CommPlan::build(&a, &part);
+        let stats = metrics::spmm_comm_stats(&a, &part);
+        assert_eq!(plan.total_volume_rows(), stats.total_rows);
+        assert_eq!(plan.total_messages(), stats.total_messages);
+        for rp in &plan.ranks {
+            assert_eq!(rp.sent_rows(), stats.sent_rows[rp.rank]);
+            assert_eq!(rp.send.len() as u64, stats.sent_messages[rp.rank]);
+        }
+    }
+
+    #[test]
+    fn plan_volume_matches_hypergraph_cut() {
+        // §4.3.2 end-to-end: plan volume == connectivity−1 cut.
+        let (a, part) = sample();
+        let plan = CommPlan::build(&a, &part);
+        let h = Hypergraph::column_net_model(&a);
+        assert_eq!(plan.total_volume_rows(), h.connectivity_cut(&part));
+    }
+
+    #[test]
+    fn distributed_spmm_via_plan_matches_serial() {
+        // Execute Eq. 7 serially using only plan data: local block times
+        // local rows, plus each remote block times the gathered rows the
+        // peer would send.
+        let (a, part) = sample();
+        let plan = CommPlan::build(&a, &part);
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = Dense::random(30, 6, &mut rng);
+        let full = a.spmm(&h);
+
+        for rp in &plan.ranks {
+            let h_local = gather::gather_rows(&h, &rp.local_rows);
+            let mut ah = rp.a_own.spmm(&h_local);
+            for block in &rp.a_remote {
+                // Simulate the peer's gather+send.
+                let peer = &plan.ranks[block.peer];
+                let peer_local = gather::gather_rows(&h, &peer.local_rows);
+                let ss = peer
+                    .send
+                    .iter()
+                    .find(|s| s.peer == rp.rank)
+                    .expect("peer must have matching send set");
+                let payload = gather::gather_rows(&peer_local, &ss.local_indices);
+                block.a.spmm_into(&payload, &mut ah, true);
+            }
+            for (li, &gv) in rp.local_rows.iter().enumerate() {
+                let expect = full.row(gv as usize);
+                let got = ah.row(li);
+                for (e, g) in expect.iter().zip(got) {
+                    assert!((e - g).abs() < 1e-4, "row {gv}: {e} vs {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_plan_has_no_comm() {
+        let g = er::generate(10, 40, false, 1);
+        let a = g.normalized_adjacency();
+        let plan = CommPlan::build(&a, &Partition::trivial(10));
+        assert_eq!(plan.ranks.len(), 1);
+        assert!(plan.ranks[0].send.is_empty());
+        assert!(plan.ranks[0].a_remote.is_empty());
+        assert_eq!(plan.ranks[0].a_own.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn nnz_is_conserved_across_blocks() {
+        let (a, part) = sample();
+        let plan = CommPlan::build(&a, &part);
+        let total: usize = plan
+            .ranks
+            .iter()
+            .map(|r| r.a_own.nnz() + r.a_remote.iter().map(|b| b.a.nnz()).sum::<usize>())
+            .sum();
+        assert_eq!(total, a.nnz());
+    }
+
+    #[test]
+    fn phase_costs_reflect_plan() {
+        let (a, part) = sample();
+        let plan = CommPlan::build(&a, &part);
+        let costs = plan.phase_costs(6, 6, 2.0 * 6.0 * 4.0);
+        for (rp, c) in plan.ranks.iter().zip(&costs) {
+            assert_eq!(c.sent_messages, rp.send.len() as u64);
+            assert_eq!(c.sent_bytes, rp.sent_rows() * 24);
+            assert_eq!(c.recv_bytes, rp.recv_rows() * 24);
+            let expected_local = 2.0 * rp.a_own.nnz() as f64 * 6.0;
+            assert_eq!(c.local_flops, expected_local);
+        }
+    }
+
+    #[test]
+    fn empty_rank_is_tolerated() {
+        // A partition where one part owns nothing.
+        let g = er::generate(8, 24, true, 2);
+        let a = g.normalized_adjacency();
+        let assignment = vec![0u32, 0, 1, 1, 1, 0, 1, 0];
+        let part = Partition::new(assignment, 3); // part 2 empty
+        let plan = CommPlan::build(&a, &part);
+        assert_eq!(plan.ranks[2].n_local(), 0);
+        assert!(plan.ranks[2].send.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Structural analysis utilities: connected components and an eccentricity
+//! (pseudo-diameter) estimate.
+//!
+//! These back the dataset-catalog validation: the paper's graph families
+//! differ structurally in exactly these measures — road networks are
+//! high-diameter and essentially one component, social networks are
+//! small-world with a giant component plus dust — and the `table1_datasets`
+//! harness prints them next to the degree statistics.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// Connected-component summary (treating edges as undirected).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// Number of connected components.
+    pub count: usize,
+    /// Vertex count of the largest component.
+    pub largest: usize,
+    /// Component id per vertex (ids are assigned in discovery order).
+    pub labels: Vec<u32>,
+}
+
+/// Labels connected components by BFS over the symmetrized edge set.
+pub fn connected_components(graph: &Graph) -> Components {
+    let sym = graph.symmetrized();
+    let n = sym.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut largest = 0usize;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let id = count as u32;
+        count += 1;
+        labels[start] = id;
+        queue.push_back(start as u32);
+        let mut size = 0usize;
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &u in sym.neighbors(v as usize) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = id;
+                    queue.push_back(u);
+                }
+            }
+        }
+        largest = largest.max(size);
+    }
+    Components { count, largest, labels }
+}
+
+/// Pseudo-diameter: the double-sweep lower bound (BFS from a start vertex,
+/// then BFS from the farthest vertex found). Exact on trees; a tight lower
+/// bound in practice, and cheap — two BFS sweeps.
+pub fn pseudo_diameter(graph: &Graph) -> usize {
+    let sym = graph.symmetrized();
+    let n = sym.n();
+    if n == 0 {
+        return 0;
+    }
+    let (far, _) = bfs_farthest(&sym, 0);
+    let (_, dist) = bfs_farthest(&sym, far);
+    dist
+}
+
+/// BFS returning the farthest reachable vertex and its distance.
+fn bfs_farthest(sym: &Graph, start: usize) -> (usize, usize) {
+    let n = sym.n();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start as u32);
+    let mut far = (start, 0usize);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        if d > far.1 {
+            far = (v as usize, d);
+        }
+        for &u in sym.neighbors(v as usize) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_component_and_diameter() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest, 5);
+        assert_eq!(pseudo_diameter(&g), 4);
+    }
+
+    #[test]
+    fn disjoint_components_counted() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (2, 3)]);
+        let c = connected_components(&g);
+        // {0,1}, {2,3}, {4}, {5}.
+        assert_eq!(c.count, 4);
+        assert_eq!(c.largest, 2);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_ne!(c.labels[0], c.labels[2]);
+    }
+
+    #[test]
+    fn directed_edges_count_as_connectivity() {
+        let g = Graph::from_edges(3, true, &[(0, 1), (2, 1)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = Graph::from_edges(6, false, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(pseudo_diameter(&g), 3);
+    }
+
+    #[test]
+    fn road_networks_have_larger_diameter_than_social() {
+        use crate::gen::{grid, social};
+        let road = grid::road_network(2000, 1);
+        let soc = social::generate(2000, 10.0, false, 1);
+        let dr = pseudo_diameter(&road);
+        let ds = pseudo_diameter(&soc);
+        assert!(dr > 2 * ds, "road diameter {dr} should dwarf social {ds}");
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        let g = Graph::from_edges(5, false, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(pseudo_diameter(&g), 2);
+    }
+}

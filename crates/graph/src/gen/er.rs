@@ -1,0 +1,47 @@
+//! Erdős–Rényi `G(n, m)` generator — the structureless baseline used by
+//! tests and partitioner ablations (on ER graphs no partitioner can beat
+//! random by much, which is itself a useful sanity check).
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random graph with `n` vertices and about `m` edges.
+pub fn generate(n: usize, m: usize, directed: bool, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, directed, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roughly_m_edges() {
+        let g = generate(1000, 5000, true, 1);
+        let e = g.num_edges();
+        assert!(e > 4500 && e <= 5000, "got {e}");
+    }
+
+    #[test]
+    fn no_skew() {
+        let g = generate(5000, 50_000, true, 2);
+        assert!(g.degree_stats().skew < 4.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(100, 300, false, 5).adjacency().indices(),
+            generate(100, 300, false, 5).adjacency().indices()
+        );
+    }
+}

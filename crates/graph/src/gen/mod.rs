@@ -1,0 +1,22 @@
+//! Deterministic synthetic graph generators, one per structural family of
+//! the paper's Table 1 datasets.
+//!
+//! | Family | Generator | Table 1 datasets it stands in for |
+//! |---|---|---|
+//! | power-law social/web | [`social`] (R-MAT ∪ communities) | com-Youtube, flickr, soc-Slashdot0902, Reddit |
+//! | citation | [`pref_attach`] | cit-Patents, ogbn-Papers100M |
+//! | road network | [`grid`] | roadNet-CA |
+//! | overlapping communities | [`community`] | amazon0601, com-Amazon, coPapersDBLP |
+//! | planted partition + features | [`sbm`] | Cora (accuracy experiments) |
+//! | uniform random (baseline) | [`er`] | — (tests and ablations) |
+//!
+//! All generators take an explicit seed and produce identical graphs across
+//! runs and platforms.
+
+pub mod community;
+pub mod er;
+pub mod grid;
+pub mod pref_attach;
+pub mod rmat;
+pub mod sbm;
+pub mod social;

@@ -1,0 +1,5 @@
+//! Carrier crate for the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). It holds no code of its own: Cargo
+//! integration tests and examples must belong to a package, and keeping
+//! them in a dedicated member keeps every library crate's dev-dependency
+//! graph minimal.

@@ -1,0 +1,171 @@
+//! Heavy-edge-matching coarsening.
+//!
+//! Vertices are visited in random order; each unmatched vertex merges with
+//! its unmatched neighbor of largest edge weight. Merged vertices sum their
+//! weights, parallel edges sum theirs, and self loops vanish — so the edge
+//! cut of any coarse partition equals the cut of its projection, the
+//! invariant multilevel partitioning rests on.
+
+use crate::graph_model::WeightedGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// One level of heavy-edge matching. Returns the coarse graph and the
+/// fine-vertex → coarse-vertex map.
+pub fn coarsen_once(g: &WeightedGraph, rng: &mut StdRng) -> (WeightedGraph, Vec<u32>) {
+    let n = g.n();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    let mut matched = vec![u32::MAX; n];
+    let mut coarse_count = 0u32;
+    for &v in &order {
+        if matched[v as usize] != u32::MAX {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best: Option<(u64, u32)> = None;
+        for (&u, &w) in g.neighbors(v as usize).iter().zip(g.edge_weights_of(v as usize)) {
+            if u != v && matched[u as usize] == u32::MAX {
+                if best.map_or(true, |(bw, _)| w > bw) {
+                    best = Some((w, u));
+                }
+            }
+        }
+        let c = coarse_count;
+        coarse_count += 1;
+        matched[v as usize] = c;
+        if let Some((_, u)) = best {
+            matched[u as usize] = c;
+        }
+    }
+
+    // Build the coarse graph: aggregate vertex weights and edges.
+    let nc = coarse_count as usize;
+    let mut vertex_weights = vec![0u64; nc];
+    for v in 0..n {
+        vertex_weights[matched[v] as usize] += g.vertex_weights()[v];
+    }
+    // Collect coarse edges as (cu, cv, w) triplets and merge duplicates.
+    let mut triplets: Vec<(u32, u32, u64)> = Vec::with_capacity(g.neighbors(0).len() * n / 2);
+    for v in 0..n {
+        let cv = matched[v];
+        for (&u, &w) in g.neighbors(v).iter().zip(g.edge_weights_of(v)) {
+            let cu = matched[u as usize];
+            if cu != cv {
+                triplets.push((cv, cu, w));
+            }
+        }
+    }
+    triplets.sort_unstable_by_key(|&(a, b, _)| ((a as u64) << 32) | b as u64);
+    let mut row_of: Vec<u32> = Vec::with_capacity(triplets.len());
+    let mut adj = Vec::with_capacity(triplets.len());
+    let mut edge_weights = Vec::with_capacity(triplets.len());
+    for (cv, cu, w) in triplets {
+        if row_of.last() == Some(&cv) && adj.last() == Some(&cu) {
+            *edge_weights.last_mut().unwrap() += w;
+        } else {
+            row_of.push(cv);
+            adj.push(cu);
+            edge_weights.push(w);
+        }
+    }
+    let mut adj_ptr = vec![0usize; nc + 1];
+    for &cv in &row_of {
+        adj_ptr[cv as usize + 1] += 1;
+    }
+    for i in 0..nc {
+        adj_ptr[i + 1] += adj_ptr[i];
+    }
+    (WeightedGraph::new(vertex_weights, adj_ptr, adj, edge_weights), matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Partition;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> WeightedGraph {
+        let mut adj_ptr = vec![0usize];
+        let mut adj = Vec::new();
+        let mut ew = Vec::new();
+        for v in 0..n {
+            if v > 0 {
+                adj.push((v - 1) as u32);
+                ew.push(1);
+            }
+            if v + 1 < n {
+                adj.push((v + 1) as u32);
+                ew.push(1);
+            }
+            adj_ptr.push(adj.len());
+        }
+        WeightedGraph::new(vec![1; n], adj_ptr, adj, ew)
+    }
+
+    #[test]
+    fn coarsening_shrinks_and_preserves_total_weight() {
+        let g = path_graph(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (coarse, map) = coarsen_once(&g, &mut rng);
+        assert!(coarse.n() < 70, "matching too weak: {} vertices left", coarse.n());
+        assert_eq!(
+            coarse.vertex_weights().iter().sum::<u64>(),
+            g.vertex_weights().iter().sum::<u64>()
+        );
+        assert_eq!(map.len(), 100);
+        assert!(map.iter().all(|&c| (c as usize) < coarse.n()));
+    }
+
+    #[test]
+    fn cut_is_preserved_under_projection() {
+        let g = path_graph(64);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (coarse, map) = coarsen_once(&g, &mut rng);
+        // Any coarse partition projects to a fine partition of equal cut.
+        let coarse_part =
+            Partition::new((0..coarse.n()).map(|v| (v % 2) as u32).collect(), 2);
+        let fine_part = Partition::new(
+            (0..g.n()).map(|v| coarse_part.part_of(map[v] as usize)).collect(),
+            2,
+        );
+        assert_eq!(coarse.edge_cut(&coarse_part), g.edge_cut(&fine_part));
+    }
+
+    #[test]
+    fn coarse_graph_has_no_self_loops() {
+        let g = path_graph(40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (coarse, _) = coarsen_once(&g, &mut rng);
+        for v in 0..coarse.n() {
+            assert!(!coarse.neighbors(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_merge_with_summed_weight() {
+        // Square 0-1-2-3-0: matching (0,1) and (2,3) gives a 2-vertex coarse
+        // graph with a single edge of weight 2.
+        let mut adj_ptr = vec![0usize];
+        let mut adj = Vec::new();
+        let mut ew = Vec::new();
+        let nbrs = [[1u32, 3], [0, 2], [1, 3], [2, 0]];
+        for v in 0..4 {
+            for &u in &nbrs[v] {
+                adj.push(u);
+                ew.push(1);
+            }
+            adj_ptr.push(adj.len());
+        }
+        let g = WeightedGraph::new(vec![1; 4], adj_ptr, adj, ew);
+        // Try several seeds; whichever matching occurs, the coarse graph's
+        // total edge weight halves to 2 (cut edges of the square).
+        let mut rng = StdRng::seed_from_u64(3);
+        let (coarse, _) = coarsen_once(&g, &mut rng);
+        if coarse.n() == 2 {
+            let w: u64 = coarse.edge_weights_of(0).iter().sum();
+            assert_eq!(w, 2);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Multilevel graph partitioner (the GP model's engine — a from-scratch
+//! stand-in for METIS, see DESIGN.md §1).
+//!
+//! k-way partitioning is done by recursive bisection; each bisection runs
+//! the classic multilevel pipeline: heavy-edge-matching coarsening
+//! ([`coarsen`]), greedy-growing initial bisection ([`initial`]), and
+//! Fiduccia–Mattheyses boundary refinement projected up through the levels
+//! ([`fm`]).
+
+pub mod coarsen;
+pub mod fm;
+pub mod initial;
+pub mod kway;
+
+use crate::graph_model::WeightedGraph;
+use crate::Partition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ablation knobs for the multilevel pipeline (used by the `ablations`
+/// bench to quantify what coarsening and FM refinement each contribute).
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Run the coarsening hierarchy (false = flat initial + FM only).
+    pub coarsen: bool,
+    /// FM passes at the coarsest level (0 disables refinement there).
+    pub fm_passes_coarsest: usize,
+    /// FM passes at each uncoarsening level.
+    pub fm_passes_uncoarsen: usize,
+    /// Greedy direct k-way refinement passes after recursive bisection
+    /// (0 disables; see [`kway`]).
+    pub kway_passes: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { coarsen: true, fm_passes_coarsest: 8, fm_passes_uncoarsen: 4, kway_passes: 2 }
+    }
+}
+
+/// Partitions `g` into `p` parts with maximum imbalance ratio `epsilon`.
+///
+/// `epsilon` is enforced per bisection level, so the end-to-end imbalance
+/// can slightly exceed it for large `p` — the same caveat applies to
+/// recursive-bisection mode in METIS/PaToH.
+pub fn partition(g: &WeightedGraph, p: usize, epsilon: f64, seed: u64) -> Partition {
+    partition_with(g, p, epsilon, seed, Options::default())
+}
+
+/// As [`partition`] with explicit pipeline [`Options`].
+pub fn partition_with(
+    g: &WeightedGraph,
+    p: usize,
+    epsilon: f64,
+    seed: u64,
+    opts: Options,
+) -> Partition {
+    assert!(p >= 1, "need at least one part");
+    let n = g.n();
+    assert!(p <= n, "more parts than vertices");
+    let mut assignment = vec![0u32; n];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all: Vec<u32> = (0..n as u32).collect();
+    recurse(g, &all, 0, p, epsilon, opts, &mut rng, &mut assignment);
+    let mut part = Partition::new(assignment, p);
+    if opts.kway_passes > 0 && p > 1 {
+        kway::refine(g, &mut part, epsilon.max(0.03), opts.kway_passes);
+    }
+    part
+}
+
+/// Recursively bisects the vertex subset `vertices` of `g` into parts
+/// `[part_offset, part_offset + k)`.
+fn recurse(
+    g: &WeightedGraph,
+    vertices: &[u32],
+    part_offset: u32,
+    k: usize,
+    epsilon: f64,
+    opts: Options,
+    rng: &mut StdRng,
+    assignment: &mut [u32],
+) {
+    if k == 1 {
+        for &v in vertices {
+            assignment[v as usize] = part_offset;
+        }
+        return;
+    }
+    let k0 = k / 2;
+    let k1 = k - k0;
+    let frac0 = k0 as f64 / k as f64;
+
+    let sub = extract_subgraph(g, vertices);
+    let side = bisect(&sub, frac0, epsilon, opts, rng);
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (local, &v) in vertices.iter().enumerate() {
+        if side[local] == 0 {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    // Degenerate guard: greedy growing can in principle leave a side empty
+    // on pathological weight distributions; fall back to an even split.
+    if left.is_empty() || right.is_empty() {
+        left.clear();
+        right.clear();
+        for (i, &v) in vertices.iter().enumerate() {
+            if i * k < vertices.len() * k0 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+    }
+    recurse(g, &left, part_offset, k0, epsilon, opts, rng, assignment);
+    recurse(g, &right, part_offset + k0 as u32, k1, epsilon, opts, rng, assignment);
+}
+
+/// One multilevel bisection of `g`, returning side labels (0/1) with target
+/// side-0 weight fraction `frac0`.
+fn bisect(g: &WeightedGraph, frac0: f64, epsilon: f64, opts: Options, rng: &mut StdRng) -> Vec<u8> {
+    // Coarsening phase.
+    let mut levels: Vec<(WeightedGraph, Vec<u32>)> = Vec::new(); // (coarse graph, fine→coarse map)
+    let mut current = g.clone();
+    while opts.coarsen && current.n() > 96 {
+        let (coarse, map) = coarsen::coarsen_once(&current, rng);
+        // Stop when matching stalls (heavy-edge matching finds few pairs on
+        // star-like graphs).
+        if coarse.n() as f64 > current.n() as f64 * 0.95 {
+            break;
+        }
+        levels.push((current, map));
+        current = coarse;
+    }
+
+    // Initial bisection at the coarsest level.
+    let mut side = initial::greedy_bisect(&current, frac0, rng);
+    fm::refine(&current, &mut side, frac0, epsilon, opts.fm_passes_coarsest);
+
+    // Uncoarsen with refinement at every level.
+    while let Some((fine, map)) = levels.pop() {
+        let mut fine_side = vec![0u8; fine.n()];
+        for v in 0..fine.n() {
+            fine_side[v] = side[map[v] as usize];
+        }
+        side = fine_side;
+        fm::refine(&fine, &mut side, frac0, epsilon, opts.fm_passes_uncoarsen);
+    }
+    side
+}
+
+/// Extracts the vertex-induced subgraph on `vertices`, renumbering to local
+/// ids and keeping only internal edges.
+pub(crate) fn extract_subgraph(g: &WeightedGraph, vertices: &[u32]) -> WeightedGraph {
+    let mut map = vec![u32::MAX; g.n()];
+    for (local, &v) in vertices.iter().enumerate() {
+        map[v as usize] = local as u32;
+    }
+    let mut vertex_weights = Vec::with_capacity(vertices.len());
+    let mut adj_ptr = Vec::with_capacity(vertices.len() + 1);
+    adj_ptr.push(0usize);
+    let mut adj = Vec::new();
+    let mut edge_weights = Vec::new();
+    for &v in vertices {
+        vertex_weights.push(g.vertex_weights()[v as usize]);
+        for (&u, &w) in g.neighbors(v as usize).iter().zip(g.edge_weights_of(v as usize)) {
+            let m = map[u as usize];
+            if m != u32::MAX {
+                adj.push(m);
+                edge_weights.push(w);
+            }
+        }
+        adj_ptr.push(adj.len());
+    }
+    WeightedGraph::new(vertex_weights, adj_ptr, adj, edge_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargcn_graph::gen::grid;
+
+    fn grid_model(n: usize, seed: u64) -> WeightedGraph {
+        let g = grid::road_network(n, seed);
+        WeightedGraph::graph_model(&g.normalized_adjacency())
+    }
+
+    #[test]
+    fn produces_valid_balanced_partition() {
+        let g = grid_model(900, 1);
+        let part = partition(&g, 4, 0.05, 7);
+        assert_eq!(part.p(), 4);
+        assert!(part.all_parts_nonempty());
+        assert!(
+            part.imbalance(g.vertex_weights()) < 0.25,
+            "imbalance {}",
+            part.imbalance(g.vertex_weights())
+        );
+    }
+
+    #[test]
+    fn beats_random_on_a_grid() {
+        let g = grid_model(1600, 2);
+        let part = partition(&g, 8, 0.05, 3);
+        let rand_part = crate::random::partition(g.n(), 8, 3);
+        let cut = g.edge_cut(&part);
+        let rand_cut = g.edge_cut(&rand_part);
+        assert!(
+            (cut as f64) < rand_cut as f64 * 0.4,
+            "multilevel cut {cut} not well below random cut {rand_cut}"
+        );
+    }
+
+    #[test]
+    fn single_part_is_trivial() {
+        let g = grid_model(100, 3);
+        let part = partition(&g, 1, 0.05, 0);
+        assert!(part.assignment().iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn handles_non_power_of_two_parts() {
+        let g = grid_model(900, 4);
+        let part = partition(&g, 5, 0.1, 1);
+        assert!(part.all_parts_nonempty());
+        assert!(part.imbalance(g.vertex_weights()) < 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid_model(400, 5);
+        assert_eq!(partition(&g, 4, 0.05, 9), partition(&g, 4, 0.05, 9));
+    }
+
+    #[test]
+    fn disconnected_graph_is_fine() {
+        // Two disjoint triangles plus isolated vertices.
+        let vw = vec![1u64; 8];
+        let mut adj_ptr = vec![0usize];
+        let mut adj = Vec::new();
+        let mut ew = Vec::new();
+        let tri = [[1u32, 2], [0, 2], [0, 1], [4, 5], [3, 5], [3, 4]];
+        for v in 0..8 {
+            if v < 6 {
+                for &u in &tri[v] {
+                    adj.push(u);
+                    ew.push(1);
+                }
+            }
+            adj_ptr.push(adj.len());
+        }
+        let g = WeightedGraph::new(vw, adj_ptr, adj, ew);
+        let part = partition(&g, 2, 0.1, 0);
+        assert!(part.all_parts_nonempty());
+    }
+}

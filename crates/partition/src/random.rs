@@ -1,0 +1,54 @@
+//! Random partitioning (RP) — the paper's baseline, which "evenly splits
+//! the adjacency matrix by assigning rows to processors uniformly at random,
+//! and is a competitive method for balancing computational load and
+//! communications" (§5).
+
+use crate::Partition;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Assigns vertices to `p` parts by shuffling and dealing equally sized
+/// chunks, so part *cardinalities* differ by at most one (the paper's RP
+/// balances row counts; on power-law graphs per-part *work* still varies,
+/// which is exactly the effect Table 2 shows).
+pub fn partition(n: usize, p: usize, seed: u64) -> Partition {
+    assert!(p >= 1 && p <= n, "need 1 <= p <= n");
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut assignment = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        assignment[v as usize] = (rank % p) as u32;
+    }
+    Partition::new(assignment, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_differ_by_at_most_one() {
+        let part = partition(103, 8, 3);
+        let sizes: Vec<usize> = part.members().iter().map(|m| m.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(partition(50, 4, 7), partition(50, 4, 7));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(partition(50, 4, 1), partition(50, 4, 2));
+    }
+
+    #[test]
+    fn single_part() {
+        let part = partition(10, 1, 0);
+        assert!(part.assignment().iter().all(|&a| a == 0));
+    }
+}

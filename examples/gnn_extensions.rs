@@ -1,0 +1,76 @@
+//! §4.4 of the paper claims the partitioning method and communication
+//! scheme carry over to other GNN models unchanged. This example runs the
+//! two case studies the repository implements on one dataset and one
+//! hypergraph partition:
+//!
+//! * **SGC** (Wu et al., the paper's [58]): K propagation sweeps over the
+//!   GCN comm plan, then *communication-free* training epochs;
+//! * **GAT** (Veličković et al., the paper's [55]): transform-then-
+//!   aggregate with attention — the exchange carries transformed rows over
+//!   the *same* plan, and the attention math is purely local.
+//!
+//! ```text
+//! cargo run --release -p pargcn-integration --example gnn_extensions
+//! ```
+
+use pargcn_core::gat::{self, GatLayer};
+use pargcn_core::loss::accuracy;
+use pargcn_core::{sgc, CommPlan};
+use pargcn_graph::Dataset;
+use pargcn_partition::{partition_rows, Method, DEFAULT_EPSILON};
+
+fn main() {
+    let data = Dataset::Cora.generate_default(7);
+    let features = data.features.expect("labelled dataset");
+    let labels = data.labels.expect("labelled dataset");
+    let train_mask = data.train_mask.expect("labelled dataset");
+    let test_mask: Vec<bool> = train_mask.iter().map(|&m| !m).collect();
+    let p = 4;
+
+    let a = data.graph.normalized_adjacency();
+    let part = partition_rows(&data.graph, &a, Method::Hp, p, DEFAULT_EPSILON, 7);
+    let plan = CommPlan::build(&a, &part);
+    println!(
+        "graph: {} vertices; HP partition on {p} ranks; plan volume {} rows/sweep\n",
+        data.graph.n(),
+        plan.total_volume_rows()
+    );
+
+    // --- SGC: K = 2 hops, then logistic regression. --------------------
+    let out = sgc::train_distributed(
+        &data.graph,
+        &features,
+        2,
+        7,
+        &labels,
+        &train_mask,
+        &part,
+        60,
+        0.5,
+        1,
+    );
+    let sgc_acc = accuracy(&out.predictions, &labels, &test_mask);
+    let p2p: u64 = out.counters.iter().map(|c| c.sent_bytes).sum();
+    println!(
+        "SGC : test accuracy {sgc_acc:.3}; total P2P traffic {:.2} KiB \
+         (2 propagation sweeps only — 60 epochs added zero bytes)",
+        p2p as f64 / 1024.0
+    );
+    let expected = plan.total_volume_rows() * features.cols() as u64 * 4 * 2;
+    assert_eq!(p2p, expected, "SGC traffic must be exactly 2 plan sweeps");
+
+    // --- GAT: 2 attention layers, forward pass. -------------------------
+    let layers =
+        vec![GatLayer::init(features.cols(), 16, 1), GatLayer::init(16, 7, 2)];
+    let serial = gat::forward_serial_multi(&data.graph, &features, &layers);
+    let (dist, counters) = gat::forward_distributed(&data.graph, &features, &layers, &part);
+    let gat_bytes: u64 = counters.iter().map(|c| c.sent_bytes).sum();
+    println!(
+        "GAT : distributed forward matches serial to {:.1e}; traffic {:.2} KiB \
+         over the identical plan (rows now carry transformed features)",
+        dist.max_abs_diff(&serial),
+        gat_bytes as f64 / 1024.0
+    );
+    assert!(dist.approx_eq(&serial, 2e-3));
+    println!("\nSame partition, same send/receive sets, three different GNNs.");
+}

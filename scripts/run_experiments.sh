@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Full mode takes tens of minutes (multilevel partitioning of all eight
+# Table 2 datasets at P = 512); pass --quick for a CI-sized run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+EXTRA="${1:-}"
+
+run() {
+    local bin="$1"; shift
+    echo "=== $bin $* ==="
+    cargo run --release -q -p pargcn-bench --bin "$bin" -- "$@" $EXTRA \
+        | tee "results/${bin}$(echo "$*" | tr ' /' '__').txt"
+}
+
+run table1_datasets --json results/table1.json
+run table2_comm_costs --json results/table2.json
+run table2_comm_costs --granularity-matched --json results/table2_matched.json
+run fig3_strong_scaling --machine cpu --json results/fig3_cpu.json
+run fig3_strong_scaling --machine gpu --json results/fig3_gpu.json
+run fig4a_breakdown --json results/fig4a.json
+run fig4b_deeper --json results/fig4b.json
+run fig4c_accuracy --json results/fig4c.json
+run fig5_shp --json results/fig5.json
+run table3_billion --json results/table3.json
+run table4_sota --json results/table4.json
+echo "all experiments written to results/"
