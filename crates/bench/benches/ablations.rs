@@ -6,19 +6,22 @@
 //! * comm/comp overlap on vs off in the cost model — the value of
 //!   Algorithm 1's non-blocking sends.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pargcn_comm::MachineProfile;
 use pargcn_core::metrics::simulate_epoch;
 use pargcn_core::{CommPlan, GcnConfig};
 use pargcn_graph::gen::community;
 use pargcn_partition::{hmultilevel, Hypergraph, Partition};
+use pargcn_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn configs() -> Vec<(&'static str, hmultilevel::Options)> {
     vec![
         ("full", hmultilevel::Options::default()),
         (
             "no_coarsen",
-            hmultilevel::Options { coarsen: false, ..Default::default() },
+            hmultilevel::Options {
+                coarsen: false,
+                ..Default::default()
+            },
         ),
         (
             "no_fm",
@@ -70,7 +73,10 @@ fn bench_overlap_ablation(c: &mut Criterion) {
     let plan = CommPlan::build(&a, &part);
     let config = GcnConfig::two_layer(32, 32, 16);
     let on = MachineProfile::cpu_cluster();
-    let off = MachineProfile { overlap: false, ..on };
+    let off = MachineProfile {
+        overlap: false,
+        ..on
+    };
     eprintln!(
         "overlap ablation: epoch with overlap = {:.6}s, without = {:.6}s",
         simulate_epoch(&plan, &plan, &config, &on).total,

@@ -2,11 +2,11 @@
 //! SpMM (the convolution), DMM (parameter application), the `Xₘₙ ⊗ H` row
 //! gather (message assembly), and adjacency normalization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pargcn_graph::gen::{grid, rmat};
 use pargcn_matrix::{gather, norm, Dense};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm");
@@ -63,5 +63,11 @@ fn bench_normalize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_spmm, bench_dmm, bench_gather, bench_normalize);
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_dmm,
+    bench_gather,
+    bench_normalize
+);
 criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Criterion benchmarks for the partitioning substrate: RP, GP (mini-METIS),
 //! HP (mini-PaToH), SHP, and comm-plan construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pargcn_core::CommPlan;
 use pargcn_graph::gen::{community, grid};
 use pargcn_partition::stochastic::Sampler;
 use pargcn_partition::{partition_rows, Method};
+use pargcn_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_methods(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition_10k");
@@ -16,7 +16,10 @@ fn bench_methods(c: &mut Criterion) {
         Method::Rp,
         Method::Gp,
         Method::Hp,
-        Method::Shp { sampler: Sampler::UniformVertex { batch_size: 1000 }, batches: 4 },
+        Method::Shp {
+            sampler: Sampler::UniformVertex { batch_size: 1000 },
+            batches: 4,
+        },
     ] {
         group.bench_with_input(BenchmarkId::new("road", method.name()), &method, |b, &m| {
             b.iter(|| partition_rows(&g, &a, m, 16, 0.05, 1))
@@ -33,7 +36,9 @@ fn bench_graph_families(c: &mut Criterion) {
         ("copurchase_8k", community::copurchase(8000, 6.0, false, 2)),
     ] {
         let a = g.normalized_adjacency();
-        group.bench_function(name, |b| b.iter(|| partition_rows(&g, &a, Method::Hp, 16, 0.05, 1)));
+        group.bench_function(name, |b| {
+            b.iter(|| partition_rows(&g, &a, Method::Hp, 16, 0.05, 1))
+        });
     }
     group.finish();
 }
@@ -52,5 +57,10 @@ fn bench_plan_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_methods, bench_graph_families, bench_plan_build);
+criterion_group!(
+    benches,
+    bench_methods,
+    bench_graph_families,
+    bench_plan_build
+);
 criterion_main!(benches);

@@ -2,7 +2,6 @@
 //! the distributed P2P trainer at several real rank counts, and the CAGNET
 //! broadcast baseline — real threaded execution, not the cost model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pargcn_core::baselines::cagnet;
 use pargcn_core::dist::train_full_batch;
 use pargcn_core::serial::SerialTrainer;
@@ -10,8 +9,9 @@ use pargcn_core::GcnConfig;
 use pargcn_graph::gen::community;
 use pargcn_matrix::Dense;
 use pargcn_partition::{partition_rows, Method};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 fn setup() -> (pargcn_graph::Graph, Dense, Vec<u32>, Vec<bool>, GcnConfig) {
     let g = community::copurchase(4000, 6.0, false, 1);
@@ -56,5 +56,10 @@ fn bench_cagnet_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serial_epoch, bench_distributed_epoch, bench_cagnet_epoch);
+criterion_group!(
+    benches,
+    bench_serial_epoch,
+    bench_distributed_epoch,
+    bench_cagnet_epoch
+);
 criterion_main!(benches);

@@ -30,7 +30,11 @@ fn main() {
         "gpu" => (MachineProfile::gpu_cluster(), vec![3, 9, 15, 21, 27], true),
         _ => (
             MachineProfile::cpu_cluster(),
-            if opts.quick { vec![16, 32, 64] } else { vec![16, 32, 64, 128, 256, 512] },
+            if opts.quick {
+                vec![16, 32, 64]
+            } else {
+                vec![16, 32, 64, 128, 256, 512]
+            },
             false,
         ),
     };
@@ -38,8 +42,11 @@ fn main() {
     println!("Figure 3 ({machine}): per-epoch time (seconds) vs processor count");
     let mut rows = Vec::new();
 
-    let datasets: &[Dataset] =
-        if opts.quick { &[Dataset::ComAmazon, Dataset::RoadNetCa] } else { &Dataset::TABLE2 };
+    let datasets: &[Dataset] = if opts.quick {
+        &[Dataset::ComAmazon, Dataset::RoadNetCa]
+    } else {
+        &Dataset::TABLE2
+    };
 
     for &ds in datasets {
         let data = opts.load(ds);

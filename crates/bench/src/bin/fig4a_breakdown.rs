@@ -19,16 +19,25 @@ use std::collections::BTreeMap;
 
 fn main() {
     let opts = Opts::parse();
-    let ps: Vec<usize> =
-        if opts.quick { vec![16, 64] } else { vec![16, 32, 64, 128, 256, 512] };
+    let ps: Vec<usize> = if opts.quick {
+        vec![16, 64]
+    } else {
+        vec![16, 32, 64, 128, 256, 512]
+    };
     let config = comm_experiment_config();
     let profile = MachineProfile::cpu_cluster();
     let ds = Dataset::CoPapersDblp;
     let data = opts.load(ds);
     let a = data.graph.normalized_adjacency();
 
-    println!("Figure 4a: comm/comp split on {} (seconds per epoch)", ds.name());
-    println!("{:<8} {:<8} {:>12} {:>12} {:>12}", "P", "Method", "total", "comm", "comp");
+    println!(
+        "Figure 4a: comm/comp split on {} (seconds per epoch)",
+        ds.name()
+    );
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>12}",
+        "P", "Method", "total", "comm", "comp"
+    );
     let mut rows = Vec::new();
     for &p in &ps {
         for method in [Method::Hp, Method::Gp, Method::Rp] {

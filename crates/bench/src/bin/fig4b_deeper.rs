@@ -33,7 +33,10 @@ fn main() {
     let single = MachineProfile::single_node();
 
     println!("Figure 4b: speedup vs layers on {} at P={p}", ds.name());
-    println!("{:<6} {:<4} {:>10} {:>10} {:>10}", "d", "L", "HP", "GP", "RP");
+    println!(
+        "{:<6} {:<4} {:>10} {:>10} {:>10}",
+        "d", "L", "HP", "GP", "RP"
+    );
     let mut rows = Vec::new();
     // Partitions are depth-independent: build once per method.
     let plans: Vec<_> = [Method::Hp, Method::Gp, Method::Rp]
@@ -45,7 +48,12 @@ fn main() {
         for layers in 2..=8usize {
             let mut dims = vec![d; layers];
             dims.push(16); // classification head width
-            let config = GcnConfig { dims, learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+            let config = GcnConfig {
+                dims,
+                learning_rate: 0.1,
+                order: LayerOrder::SpmmFirst,
+                optimizer: pargcn_core::optim::Optimizer::Sgd,
+            };
             let serial = simulate_serial_epoch(a.nnz(), data.graph.n(), &config, &single);
             print!("{:<6} {:<4}", d, layers);
             for (m, (_, plan_f, plan_b)) in &plans {

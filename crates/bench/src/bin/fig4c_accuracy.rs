@@ -27,7 +27,10 @@ fn main() {
     let test_mask: Vec<bool> = train_mask.iter().map(|&m| !m).collect();
     let config = GcnConfig::two_layer(features.cols(), 16, 7);
 
-    println!("Figure 4c: accuracy after {epochs} epochs on {} vertices", data.graph.n());
+    println!(
+        "Figure 4c: accuracy after {epochs} epochs on {} vertices",
+        data.graph.n()
+    );
     let mut rows = Vec::new();
 
     let mut serial = SerialTrainer::new(&data.graph, config.clone(), opts.seed);
@@ -38,7 +41,11 @@ fn main() {
     println!("{:<8} {:>10.4}", "serial", serial_acc);
 
     let a = data.graph.normalized_adjacency();
-    let ps: Vec<usize> = if opts.quick { vec![3, 9] } else { vec![1, 3, 9, 15, 21, 27] };
+    let ps: Vec<usize> = if opts.quick {
+        vec![3, 9]
+    } else {
+        vec![1, 3, 9, 15, 21, 27]
+    };
     for p in ps {
         let part = if p == 1 {
             pargcn_partition::Partition::trivial(data.graph.n())

@@ -30,7 +30,11 @@ fn main() {
     let batch_size = (n / 16).max(8); // paper: 20K of 335K ≈ n/17
     let build_batches = if opts.quick { 150 } else { 1600 }; // merged into the SHP hypergraph
     let eval_batches = if opts.quick { 20 } else { 200 };
-    let ps: Vec<usize> = if opts.quick { vec![3, 9] } else { vec![3, 9, 15, 21, 27] };
+    let ps: Vec<usize> = if opts.quick {
+        vec![3, 9]
+    } else {
+        vec![3, 9, 15, 21, 27]
+    };
     let config = comm_experiment_config();
     let profile = MachineProfile::gpu_cluster();
 

@@ -13,7 +13,15 @@ fn main() {
     println!("Table 1: dataset properties (paper vs generated at 1/scale)");
     println!(
         "{:<18} {:>12} {:>14} {:>9} | {:>6} {:>10} {:>12} {:>8} {:>6}",
-        "Dataset", "paper |V|", "paper |E|", "directed", "scale", "gen |V|", "gen |E|", "avgdeg", "skew"
+        "Dataset",
+        "paper |V|",
+        "paper |E|",
+        "directed",
+        "scale",
+        "gen |V|",
+        "gen |E|",
+        "avgdeg",
+        "skew"
     );
     let mut rows = Vec::new();
     for ds in Dataset::ALL {

@@ -41,7 +41,11 @@ fn main() {
     let default_p = if opts.quick { 64 } else { 512 };
     println!(
         "Table 2: HP/GP/RP comparison ({}; volume & messages normalized to RP)",
-        if matched { "granularity-matched P per dataset".to_string() } else { format!("P={}", p_flag.unwrap_or(default_p)) }
+        if matched {
+            "granularity-matched P per dataset".to_string()
+        } else {
+            format!("P={}", p_flag.unwrap_or(default_p))
+        }
     );
     println!(
         "{:<18} {:<6} {:>7} {:>9} {:>9} {:>9} {:>9} {:>8}",

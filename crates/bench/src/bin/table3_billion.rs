@@ -43,8 +43,12 @@ fn main() {
         let stats = pmetrics::spmm_comm_stats(&a, &part);
         let mut times = Vec::new();
         for d in [1usize, 2, 5] {
-            let config =
-                GcnConfig { dims: vec![d, d, d], learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+            let config = GcnConfig {
+                dims: vec![d, d, d],
+                learning_rate: 0.1,
+                order: LayerOrder::SpmmFirst,
+                optimizer: pargcn_core::optim::Optimizer::Sgd,
+            };
             times.push(simulate_epoch(&plan_f, &plan_b, &config, &profile).total);
         }
         println!(

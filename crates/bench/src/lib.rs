@@ -15,7 +15,7 @@ use pargcn_graph::{Dataset, GraphData, Scale};
 use pargcn_matrix::Csr;
 use pargcn_partition::stochastic::Sampler;
 use pargcn_partition::{partition_rows, Method, Partition, DEFAULT_EPSILON};
-use serde::Serialize;
+use pargcn_util::json::{self, Json};
 
 /// Parsed common command-line options.
 #[derive(Clone, Debug)]
@@ -35,7 +35,12 @@ impl Opts {
     }
 
     pub fn from_args(args: &[String]) -> Opts {
-        let mut opts = Opts { quick: false, extra_scale: 1, seed: 1, json: None };
+        let mut opts = Opts {
+            quick: false,
+            extra_scale: 1,
+            seed: 1,
+            json: None,
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -63,7 +68,12 @@ impl Opts {
     /// factor, times 8 more in quick mode.
     pub fn scale_for(&self, ds: Dataset) -> Scale {
         let quick_factor = if self.quick { 8 } else { 1 };
-        Scale(ds.default_scale().0.saturating_mul(self.extra_scale).saturating_mul(quick_factor))
+        Scale(
+            ds.default_scale()
+                .0
+                .saturating_mul(self.extra_scale)
+                .saturating_mul(quick_factor),
+        )
     }
 
     /// Loads a dataset at the effective scale.
@@ -73,7 +83,7 @@ impl Opts {
 }
 
 /// A generic result row for JSON output.
-#[derive(Serialize, Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResultRow {
     pub experiment: String,
     pub dataset: String,
@@ -82,10 +92,43 @@ pub struct ResultRow {
     pub metrics: std::collections::BTreeMap<String, f64>,
 }
 
+impl ResultRow {
+    /// Field order matches the historical derive-based serialization, so
+    /// regenerated result files diff cleanly against `results/*.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("dataset", Json::Str(self.dataset.clone())),
+            ("method", Json::Str(self.method.clone())),
+            ("p", Json::Num(self.p as f64)),
+            ("metrics", json::from_metrics(&self.metrics)),
+        ])
+    }
+
+    /// Inverse of [`ResultRow::to_json`]; used to read result files back
+    /// when regenerating EXPERIMENTS.md tables.
+    pub fn from_json(v: &Json) -> Option<ResultRow> {
+        let metrics = match v.get("metrics")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                .collect::<Option<_>>()?,
+            _ => return None,
+        };
+        Some(ResultRow {
+            experiment: v.get("experiment")?.as_str()?.to_string(),
+            dataset: v.get("dataset")?.as_str()?.to_string(),
+            method: v.get("method")?.as_str()?.to_string(),
+            p: v.get("p")?.as_f64()? as usize,
+            metrics,
+        })
+    }
+}
+
 /// Writes rows as pretty JSON if a path was given.
 pub fn write_json(opts: &Opts, rows: &[ResultRow]) {
     if let Some(path) = &opts.json {
-        let body = serde_json::to_string_pretty(rows).expect("serialize rows");
+        let body = Json::Arr(rows.iter().map(ResultRow::to_json).collect()).to_string_pretty();
         std::fs::write(path, body).expect("write json output");
         eprintln!("wrote {} rows to {path}", rows.len());
     }
@@ -95,7 +138,12 @@ pub fn write_json(opts: &Opts, rows: &[ResultRow]) {
 /// experiments (Table 2, Fig. 3, Fig. 4a): d = 32 features, 32 hidden, 16
 /// outputs. The paper runs "random vertex features and label data".
 pub fn comm_experiment_config() -> GcnConfig {
-    GcnConfig { dims: vec![32, 32, 16], learning_rate: 0.1, order: pargcn_core::LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd }
+    GcnConfig {
+        dims: vec![32, 32, 16],
+        learning_rate: 0.1,
+        order: pargcn_core::LayerOrder::SpmmFirst,
+        optimizer: pargcn_core::optim::Optimizer::Sgd,
+    }
 }
 
 /// Partitions and builds both direction plans for a graph.
@@ -117,13 +165,13 @@ pub fn build_plans(
 }
 
 /// Builds the CAGNET plans for both directions.
-pub fn build_cagnet_plans(
-    data: &GraphData,
-    a: &Csr,
-    part: &Partition,
-) -> (CagnetPlan, CagnetPlan) {
+pub fn build_cagnet_plans(data: &GraphData, a: &Csr, part: &Partition) -> (CagnetPlan, CagnetPlan) {
     let f = CagnetPlan::build(a, part);
-    let b = if data.graph.directed() { CagnetPlan::build(&a.transpose(), part) } else { f.clone() };
+    let b = if data.graph.directed() {
+        CagnetPlan::build(&a.transpose(), part)
+    } else {
+        f.clone()
+    };
     (f, b)
 }
 
@@ -132,7 +180,9 @@ pub fn build_cagnet_plans(
 /// sampled batches merged into the stochastic hypergraph.
 pub fn shp_method(n: usize, batches: usize) -> Method {
     Method::Shp {
-        sampler: Sampler::UniformVertex { batch_size: (n / 16).max(8) },
+        sampler: Sampler::UniformVertex {
+            batch_size: (n / 16).max(8),
+        },
         batches,
     }
 }
@@ -142,7 +192,7 @@ pub fn fmt_count(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::with_capacity(s.len() + s.len() / 3);
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -156,11 +206,19 @@ mod tests {
 
     #[test]
     fn opts_parse_flags() {
-        let args: Vec<String> =
-            ["bin", "--quick", "--scale", "4", "--seed", "9", "--json", "/tmp/x.json"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "bin",
+            "--quick",
+            "--scale",
+            "4",
+            "--seed",
+            "9",
+            "--json",
+            "/tmp/x.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let o = Opts::from_args(&args);
         assert!(o.quick);
         assert_eq!(o.extra_scale, 4);
@@ -181,8 +239,28 @@ mod tests {
     }
 
     #[test]
+    fn result_row_json_roundtrip() {
+        let row = ResultRow {
+            experiment: "fig3_cpu".into(),
+            dataset: "amazon0601".into(),
+            method: "HP".into(),
+            p: 16,
+            metrics: [("epoch_seconds".to_string(), 0.0025182201599999996)].into(),
+        };
+        let text = Json::Arr(vec![row.to_json()]).to_string_pretty();
+        let parsed = json::parse(&text).unwrap();
+        let back = ResultRow::from_json(&parsed.as_array().unwrap()[0]).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
     fn plans_build_for_all_methods() {
-        let o = Opts { quick: true, extra_scale: 8, seed: 1, json: None };
+        let o = Opts {
+            quick: true,
+            extra_scale: 8,
+            seed: 1,
+            json: None,
+        };
         let data = o.load(Dataset::ComAmazon);
         let a = data.graph.normalized_adjacency();
         for m in [Method::Rp, Method::Hp] {

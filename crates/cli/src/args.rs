@@ -30,7 +30,9 @@ impl Args {
             .cloned()
             .ok_or_else(|| ParseError("missing subcommand".into()))?;
         if command.starts_with("--") {
-            return Err(ParseError(format!("expected a subcommand, got flag {command}")));
+            return Err(ParseError(format!(
+                "expected a subcommand, got flag {command}"
+            )));
         }
         let mut options = BTreeMap::new();
         while let Some(key) = it.next() {

@@ -10,8 +10,8 @@ use pargcn_graph::{analysis, Dataset, GraphData, Scale};
 use pargcn_matrix::Dense;
 use pargcn_partition::stochastic::Sampler;
 use pargcn_partition::{metrics as pmetrics, partition_rows, Hypergraph, Method};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 use std::path::Path;
 
 pub const USAGE: &str = "pargcn — distributed-memory GCN training (paper reproduction)
@@ -49,10 +49,14 @@ fn method(name: &str, n: usize) -> Result<Method, ParseError> {
         "hp" => Ok(Method::Hp),
         "bp" => Ok(Method::Bp),
         "shp" => Ok(Method::Shp {
-            sampler: Sampler::UniformVertex { batch_size: (n / 16).max(8) },
+            sampler: Sampler::UniformVertex {
+                batch_size: (n / 16).max(8),
+            },
             batches: 200,
         }),
-        other => Err(ParseError(format!("unknown method '{other}' (rp|gp|hp|shp|bp)"))),
+        other => Err(ParseError(format!(
+            "unknown method '{other}' (rp|gp|hp|shp|bp)"
+        ))),
     }
 }
 
@@ -67,7 +71,10 @@ fn load(args: &Args) -> Result<(Dataset, GraphData), ParseError> {
 /// `pargcn info`.
 pub fn info(args: &Args) -> Result<(), ParseError> {
     if args.get_or("list", "false") == "true" {
-        println!("{:<18} {:>12} {:>14} {:>9} {:>8}", "Dataset", "paper |V|", "paper |E|", "directed", "scale");
+        println!(
+            "{:<18} {:>12} {:>14} {:>9} {:>8}",
+            "Dataset", "paper |V|", "paper |E|", "directed", "scale"
+        );
         for ds in Dataset::ALL {
             let (v, e, dir) = ds.paper_properties();
             println!(
@@ -88,7 +95,10 @@ pub fn info(args: &Args) -> Result<(), ParseError> {
     println!("vertices:     {}", data.graph.n());
     println!("edges:        {}", data.graph.num_edges());
     println!("directed:     {}", data.graph.directed());
-    println!("degree:       min {} / avg {:.2} / max {} (skew {:.1})", stats.min, stats.avg, stats.max, stats.skew);
+    println!(
+        "degree:       min {} / avg {:.2} / max {} (skew {:.1})",
+        stats.min, stats.avg, stats.max, stats.skew
+    );
     println!("components:   {} (largest {})", comps.count, comps.largest);
     println!("pseudo-diam:  {}", analysis::pseudo_diameter(&data.graph));
     println!("labelled:     {}", data.labels.is_some());
@@ -110,11 +120,29 @@ pub fn partition(args: &Args) -> Result<(), ParseError> {
 
     let stats = pmetrics::spmm_comm_stats(&a, &part);
     let h = Hypergraph::column_net_model(&a);
-    println!("dataset:        {} (n={}, nnz={})", ds.name(), data.graph.n(), a.nnz());
+    println!(
+        "dataset:        {} (n={}, nnz={})",
+        ds.name(),
+        data.graph.n(),
+        a.nnz()
+    );
     println!("method:         {} into p={p} parts ({took:.2}s)", m.name());
-    println!("volume:         {} rows/sweep (avg {:.1}, max {} per rank)", stats.total_rows, stats.avg_rows(), stats.max_rows());
-    println!("messages:       {} (avg {:.1}, max {} per rank)", stats.total_messages, stats.avg_messages(), stats.max_messages());
-    println!("hypergraph cut: {} (= volume, §4.3.2)", h.connectivity_cut(&part));
+    println!(
+        "volume:         {} rows/sweep (avg {:.1}, max {} per rank)",
+        stats.total_rows,
+        stats.avg_rows(),
+        stats.max_rows()
+    );
+    println!(
+        "messages:       {} (avg {:.1}, max {} per rank)",
+        stats.total_messages,
+        stats.avg_messages(),
+        stats.max_messages()
+    );
+    println!(
+        "hypergraph cut: {} (= volume, §4.3.2)",
+        h.connectivity_cut(&part)
+    );
     println!("imbalance:      {:.4}", part.imbalance(h.vertex_weights()));
 
     if let Ok(path) = args.require("out") {
@@ -166,7 +194,14 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
     };
 
     let a = data.graph.normalized_adjacency();
-    let part = partition_rows(&data.graph, &a, m, p, pargcn_partition::DEFAULT_EPSILON, seed);
+    let part = partition_rows(
+        &data.graph,
+        &a,
+        m,
+        p,
+        pargcn_partition::DEFAULT_EPSILON,
+        seed,
+    );
     println!(
         "training {} on {} ranks ({}), {} epochs, {} optimizer",
         ds.name(),
@@ -175,7 +210,16 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
         epochs,
         args.get_or("optimizer", "sgd")
     );
-    let out = train_full_batch(&data.graph, &features, &labels, &mask, &part, &config, epochs, seed);
+    let out = train_full_batch(
+        &data.graph,
+        &features,
+        &labels,
+        &mask,
+        &part,
+        &config,
+        epochs,
+        seed,
+    );
     for (e, l) in out.losses.iter().enumerate() {
         if e % 5 == 0 || e + 1 == out.losses.len() {
             println!("epoch {e:>3}: loss {l:.4}");
@@ -183,11 +227,21 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
     }
     let test_mask: Vec<bool> = mask.iter().map(|&m| !m).collect();
     if test_mask.iter().any(|&m| m) {
-        println!("test accuracy: {:.3}", loss::accuracy(&out.predictions, &labels, &test_mask));
+        println!(
+            "test accuracy: {:.3}",
+            loss::accuracy(&out.predictions, &labels, &test_mask)
+        );
     }
-    println!("train accuracy: {:.3}", loss::accuracy(&out.predictions, &labels, &mask));
+    println!(
+        "train accuracy: {:.3}",
+        loss::accuracy(&out.predictions, &labels, &mask)
+    );
     let bytes: u64 = out.counters.iter().map(|c| c.sent_bytes).sum();
-    println!("p2p traffic: {:.2} MiB, wall {:.2}s", bytes as f64 / (1 << 20) as f64, out.wall_seconds());
+    println!(
+        "p2p traffic: {:.2} MiB, wall {:.2}s",
+        bytes as f64 / (1 << 20) as f64,
+        out.wall_seconds()
+    );
 
     if let Ok(path) = args.require("save-params") {
         checkpoint::save(&out.params, Path::new(path))
@@ -213,20 +267,51 @@ pub fn simulate(args: &Args) -> Result<(), ParseError> {
 
     let mut dims = vec![d; layers];
     dims.push(16);
-    let config =
-        GcnConfig { dims, learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: Optimizer::Sgd };
+    let config = GcnConfig {
+        dims,
+        learning_rate: 0.1,
+        order: LayerOrder::SpmmFirst,
+        optimizer: Optimizer::Sgd,
+    };
 
     let a = data.graph.normalized_adjacency();
-    let part = partition_rows(&data.graph, &a, m, p, pargcn_partition::DEFAULT_EPSILON, seed);
+    let part = partition_rows(
+        &data.graph,
+        &a,
+        m,
+        p,
+        pargcn_partition::DEFAULT_EPSILON,
+        seed,
+    );
     let plan_f = CommPlan::build(&a, &part);
-    let plan_b =
-        if data.graph.directed() { CommPlan::build(&a.transpose(), &part) } else { plan_f.clone() };
+    let plan_b = if data.graph.directed() {
+        CommPlan::build(&a.transpose(), &part)
+    } else {
+        plan_f.clone()
+    };
 
     let t = simulate_epoch(&plan_f, &plan_b, &config, &profile);
-    let serial = simulate_serial_epoch(a.nnz(), data.graph.n(), &config, &MachineProfile::single_node());
-    println!("dataset:    {} (n={}, nnz={})", ds.name(), data.graph.n(), a.nnz());
-    println!("machine:    {} | method {} | p={p} | L={layers} d={d}", profile.name, m.name());
-    println!("epoch time: {:.6}s (comm {:.6}s, comp {:.6}s)", t.total, t.comm, t.comp);
+    let serial = simulate_serial_epoch(
+        a.nnz(),
+        data.graph.n(),
+        &config,
+        &MachineProfile::single_node(),
+    );
+    println!(
+        "dataset:    {} (n={}, nnz={})",
+        ds.name(),
+        data.graph.n(),
+        a.nnz()
+    );
+    println!(
+        "machine:    {} | method {} | p={p} | L={layers} d={d}",
+        profile.name,
+        m.name()
+    );
+    println!(
+        "epoch time: {:.6}s (comm {:.6}s, comp {:.6}s)",
+        t.total, t.comm, t.comp
+    );
     println!("speedup vs single-node baseline: {:.2}x", serial / t.total);
     Ok(())
 }
@@ -266,8 +351,17 @@ mod tests {
     fn partition_runs_and_writes_assignment() {
         let out = std::env::temp_dir().join(format!("pargcn_cli_part_{}.txt", std::process::id()));
         let a = args(&[
-            "partition", "--dataset", "roadNet-CA", "--scale", "64",
-            "--method", "hp", "--p", "4", "--out", out.to_str().unwrap(),
+            "partition",
+            "--dataset",
+            "roadNet-CA",
+            "--scale",
+            "64",
+            "--method",
+            "hp",
+            "--p",
+            "4",
+            "--out",
+            out.to_str().unwrap(),
         ]);
         partition(&a).unwrap();
         let body = std::fs::read_to_string(&out).unwrap();
@@ -279,8 +373,17 @@ mod tests {
     fn train_runs_on_scaled_cora_and_saves_params() {
         let ckpt = std::env::temp_dir().join(format!("pargcn_cli_ckpt_{}.bin", std::process::id()));
         let a = args(&[
-            "train", "--dataset", "Cora", "--scale", "8", "--p", "2",
-            "--epochs", "3", "--save-params", ckpt.to_str().unwrap(),
+            "train",
+            "--dataset",
+            "Cora",
+            "--scale",
+            "8",
+            "--p",
+            "2",
+            "--epochs",
+            "3",
+            "--save-params",
+            ckpt.to_str().unwrap(),
         ]);
         train(&a).unwrap();
         let params = checkpoint::load(&ckpt).unwrap();
@@ -292,8 +395,15 @@ mod tests {
     fn simulate_runs_on_both_machines() {
         for machine in ["cpu", "gpu"] {
             let a = args(&[
-                "simulate", "--dataset", "com-Amazon", "--scale", "32",
-                "--p", "16", "--machine", machine,
+                "simulate",
+                "--dataset",
+                "com-Amazon",
+                "--scale",
+                "32",
+                "--p",
+                "16",
+                "--machine",
+                machine,
             ]);
             simulate(&a).unwrap();
         }
@@ -301,7 +411,15 @@ mod tests {
 
     #[test]
     fn unknown_optimizer_is_rejected() {
-        let a = args(&["train", "--dataset", "Cora", "--scale", "16", "--optimizer", "sgdm"]);
+        let a = args(&[
+            "train",
+            "--dataset",
+            "Cora",
+            "--scale",
+            "16",
+            "--optimizer",
+            "sgdm",
+        ]);
         assert!(train(&a).is_err());
     }
 }

@@ -13,7 +13,7 @@
 //!   so results are bitwise deterministic run to run.
 
 use crate::counters::CommCounters;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use pargcn_util::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -118,11 +118,18 @@ impl RankCtx {
     /// Algorithms 1–2) and on reserved tags.
     pub fn isend(&mut self, to: usize, tag: u32, payload: Vec<f32>) {
         assert_ne!(to, self.rank, "self-sends are a bug: local rows stay local");
-        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < RESERVED_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.counters.sent_messages += 1;
         self.counters.sent_bytes += (payload.len() * 4) as u64;
         self.senders[to]
-            .send(Message { from: self.rank as u32, tag, payload })
+            .send(Message {
+                from: self.rank as u32,
+                tag,
+                payload,
+            })
             .expect("peer rank hung up");
     }
 
@@ -163,7 +170,11 @@ impl RankCtx {
     }
 
     fn recv_inner(&mut self, from: u32, tag: u32) -> Vec<f32> {
-        if let Some(pos) = self.pending.iter().position(|m| m.from == from && m.tag == tag) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
             return self.pending.swap_remove(pos).payload;
         }
         loop {
@@ -268,7 +279,11 @@ impl RankCtx {
     /// Internal send without the user-facing counter/tag policy.
     fn send_internal(&mut self, to: usize, tag: u32, payload: Vec<f32>) {
         self.senders[to]
-            .send(Message { from: self.rank as u32, tag, payload })
+            .send(Message {
+                from: self.rank as u32,
+                tag,
+                payload,
+            })
             .expect("peer rank hung up");
     }
 }
@@ -321,7 +336,11 @@ mod tests {
     #[test]
     fn broadcast_delivers_to_all() {
         let results = Communicator::run(3, |ctx| {
-            let mut buf = if ctx.rank() == 1 { vec![3.5, 4.5] } else { Vec::new() };
+            let mut buf = if ctx.rank() == 1 {
+                vec![3.5, 4.5]
+            } else {
+                Vec::new()
+            };
             ctx.broadcast(1, &mut buf);
             buf
         });
@@ -333,10 +352,7 @@ mod tests {
     #[test]
     fn gather_collects_in_rank_order() {
         let results = Communicator::run(3, |ctx| ctx.gather(0, vec![ctx.rank() as f32]));
-        assert_eq!(
-            results[0],
-            Some(vec![vec![0.0], vec![1.0], vec![2.0]])
-        );
+        assert_eq!(results[0], Some(vec![vec![0.0], vec![1.0], vec![2.0]]));
         assert_eq!(results[1], None);
     }
 

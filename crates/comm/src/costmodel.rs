@@ -174,7 +174,11 @@ pub fn phase_time(profile: &MachineProfile, ranks: &[RankPhaseCost]) -> PhaseTim
             (local + comm + remote, comm)
         };
         if total > worst.total {
-            worst = PhaseTime { total, comm: comm_part, comp: total - comm_part };
+            worst = PhaseTime {
+                total,
+                comm: comm_part,
+                comp: total - comm_part,
+            };
         }
     }
     worst
@@ -182,7 +186,11 @@ pub fn phase_time(profile: &MachineProfile, ranks: &[RankPhaseCost]) -> PhaseTim
 
 /// Sums phase times into an epoch, adding collective costs.
 pub fn epoch_time(phases: &[PhaseTime], collectives: f64) -> PhaseTime {
-    let mut out = PhaseTime { total: collectives, comm: collectives, comp: 0.0 };
+    let mut out = PhaseTime {
+        total: collectives,
+        comm: collectives,
+        comp: 0.0,
+    };
     for ph in phases {
         out.total += ph.total;
         out.comm += ph.comm;
@@ -197,14 +205,28 @@ mod tests {
 
     #[test]
     fn transfer_time_is_alpha_beta_linear() {
-        let m = MachineProfile { alpha: 1e-6, beta: 1e-9, gamma: 0.0, gamma_dmm: 0.0, overlap: false, name: "t" };
+        let m = MachineProfile {
+            alpha: 1e-6,
+            beta: 1e-9,
+            gamma: 0.0,
+            gamma_dmm: 0.0,
+            overlap: false,
+            name: "t",
+        };
         let t = m.transfer_time(10, 1_000_000);
         assert!((t - (1e-5 + 1e-3)).abs() < 1e-12);
     }
 
     #[test]
     fn overlap_hides_communication_behind_local_compute() {
-        let m = MachineProfile { alpha: 0.0, beta: 1e-9, gamma: 1e-9, gamma_dmm: 1e-9, overlap: true, name: "o" };
+        let m = MachineProfile {
+            alpha: 0.0,
+            beta: 1e-9,
+            gamma: 1e-9,
+            gamma_dmm: 1e-9,
+            overlap: true,
+            name: "o",
+        };
         let cost = RankPhaseCost {
             local_flops: 2000.0,
             remote_flops: 100.0,
@@ -220,7 +242,14 @@ mod tests {
 
     #[test]
     fn no_overlap_serializes() {
-        let m = MachineProfile { alpha: 0.0, beta: 1e-9, gamma: 1e-9, gamma_dmm: 1e-9, overlap: false, name: "s" };
+        let m = MachineProfile {
+            alpha: 0.0,
+            beta: 1e-9,
+            gamma: 1e-9,
+            gamma_dmm: 1e-9,
+            overlap: false,
+            name: "s",
+        };
         let cost = RankPhaseCost {
             local_flops: 2000.0,
             remote_flops: 100.0,
@@ -235,8 +264,14 @@ mod tests {
     #[test]
     fn slowest_rank_bounds_the_phase() {
         let m = MachineProfile::cpu_cluster();
-        let fast = RankPhaseCost { local_flops: 1e6, ..Default::default() };
-        let slow = RankPhaseCost { local_flops: 9e6, ..Default::default() };
+        let fast = RankPhaseCost {
+            local_flops: 1e6,
+            ..Default::default()
+        };
+        let slow = RankPhaseCost {
+            local_flops: 9e6,
+            ..Default::default()
+        };
         let t = phase_time(&m, &[fast, slow]);
         assert!((t.total - m.compute_time(9e6)).abs() < 1e-15);
     }
@@ -262,8 +297,16 @@ mod tests {
     #[test]
     fn epoch_time_accumulates() {
         let phases = [
-            PhaseTime { total: 1.0, comm: 0.4, comp: 0.6 },
-            PhaseTime { total: 2.0, comm: 0.5, comp: 1.5 },
+            PhaseTime {
+                total: 1.0,
+                comm: 0.4,
+                comp: 0.6,
+            },
+            PhaseTime {
+                total: 2.0,
+                comm: 0.5,
+                comp: 1.5,
+            },
         ];
         let e = epoch_time(&phases, 0.25);
         assert!((e.total - 3.25).abs() < 1e-12);

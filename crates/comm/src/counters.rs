@@ -51,8 +51,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let a = CommCounters { sent_messages: 2, sent_bytes: 100, ..Default::default() };
-        let b = CommCounters { sent_messages: 3, recv_bytes: 50, ..Default::default() };
+        let a = CommCounters {
+            sent_messages: 2,
+            sent_bytes: 100,
+            ..Default::default()
+        };
+        let b = CommCounters {
+            sent_messages: 3,
+            recv_bytes: 50,
+            ..Default::default()
+        };
         let m = CommCounters::merged(&[a, b]);
         assert_eq!(m.sent_messages, 5);
         assert_eq!(m.sent_bytes, 100);
@@ -61,7 +69,11 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut c = CommCounters { sent_messages: 9, comm_seconds: 1.5, ..Default::default() };
+        let mut c = CommCounters {
+            sent_messages: 9,
+            comm_seconds: 1.5,
+            ..Default::default()
+        };
         c.reset();
         assert_eq!(c, CommCounters::default());
     }

@@ -35,5 +35,5 @@ pub mod costmodel;
 pub mod counters;
 
 pub use comm::{Communicator, RankCtx};
-pub use counters::CommCounters;
 pub use costmodel::MachineProfile;
+pub use counters::CommCounters;

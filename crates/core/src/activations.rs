@@ -37,7 +37,10 @@ mod tests {
     fn relu_clamps_negatives() {
         let z = Dense::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
         assert_eq!(Activation::Relu.apply(&z).data(), &[0.0, 0.0, 0.5, 2.0]);
-        assert_eq!(Activation::Relu.derivative(&z).data(), &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(
+            Activation::Relu.derivative(&z).data(),
+            &[0.0, 0.0, 1.0, 1.0]
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn save(params: &Params, path: &Path) -> io::Result<()> {
     };
     write(&mut out, &mut hash, MAGIC)?;
     write(&mut out, &mut hash, &VERSION.to_le_bytes())?;
-    write(&mut out, &mut hash, &(params.weights.len() as u32).to_le_bytes())?;
+    write(
+        &mut out,
+        &mut hash,
+        &(params.weights.len() as u32).to_le_bytes(),
+    )?;
     for w in &params.weights {
         write(&mut out, &mut hash, &(w.rows() as u32).to_le_bytes())?;
         write(&mut out, &mut hash, &(w.cols() as u32).to_le_bytes())?;
@@ -66,8 +70,8 @@ pub fn load(path: &Path) -> io::Result<Params> {
     let mut file = io::BufReader::new(std::fs::File::open(path)?);
     let mut hash = Fnv::new();
     let read_exact = |file: &mut io::BufReader<std::fs::File>,
-                          hash: &mut Fnv,
-                          buf: &mut [u8]|
+                      hash: &mut Fnv,
+                      buf: &mut [u8]|
      -> io::Result<()> {
         file.read_exact(buf)?;
         hash.update(buf);

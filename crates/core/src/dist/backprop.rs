@@ -21,15 +21,11 @@ use pargcn_matrix::Dense;
 /// Runs backpropagation from the local output-layer loss gradient
 /// `∇_{H^L} Jₘ`, updating `st.params` in place (identically on all ranks).
 /// Returns the local gradient flow for inspection by tests.
-pub fn run(
-    ctx: &mut RankCtx,
-    st: &mut RankState<'_>,
-    fwd: &LocalForward,
-    grad_hl_local: &Dense,
-) {
+pub fn run(ctx: &mut RankCtx, st: &mut RankState<'_>, fwd: &LocalForward, grad_hl_local: &Dense) {
     let layers = st.config.layers();
     // Line 2: G^L = ∇_{H^L} J ⊙ σ'(Z^L).
-    let mut g = grad_hl_local.hadamard(&st.config.activation(layers).derivative(&fwd.z[layers - 1]));
+    let mut g =
+        grad_hl_local.hadamard(&st.config.activation(layers).derivative(&fwd.z[layers - 1]));
 
     for k in (1..=layers).rev() {
         // Lines 4–10: the point-to-point exchange computing (Â'Gᵏ)ₘ.
@@ -39,14 +35,23 @@ pub fn run(
         let mut delta_w = fwd.h[k - 1].matmul_at(&ag);
 
         // Sᵏ must use the *pre-update* Wᵏ (line 7 precedes line 14).
-        let s = if k > 1 { Some(ag.matmul_bt(&st.params.weights[k - 1])) } else { None };
+        let s = if k > 1 {
+            Some(ag.matmul_bt(&st.params.weights[k - 1]))
+        } else {
+            None
+        };
 
         // Line 13: ΔWᵏ = allreduce-sum(ΔWᵏₘ) — deterministic rank-order sum.
         ctx.allreduce_sum(delta_w.data_mut());
 
         // Line 14: replicated parameter update (SGD or Adam; the optimizer
         // state is replicated and deterministic, so replicas stay in step).
-        st.opt_state.apply(k - 1, &mut st.params.weights[k - 1], &delta_w, st.config.learning_rate);
+        st.opt_state.apply(
+            k - 1,
+            &mut st.params.weights[k - 1],
+            &delta_w,
+            st.config.learning_rate,
+        );
 
         // Line 11: G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1}).
         if let Some(s) = s {

@@ -52,13 +52,17 @@ pub fn run(ctx: &mut RankCtx, st: &RankState<'_>) -> LocalForward {
 /// The communication core shared by feedforward (on `H`) and
 /// backpropagation (on `G`): computes this rank's block of `A · X` where
 /// `x_local` is the locally-owned row block of `X`.
-pub fn spmm_exchange(
-    ctx: &mut RankCtx,
-    st: &RankState<'_>,
-    x_local: &Dense,
-    tag: u32,
-) -> Dense {
-    spmm_exchange_with_plan(ctx, if tag >= super::TAG_BWD { st.plan_b } else { st.plan_f }, x_local, tag)
+pub fn spmm_exchange(ctx: &mut RankCtx, st: &RankState<'_>, x_local: &Dense, tag: u32) -> Dense {
+    spmm_exchange_with_plan(
+        ctx,
+        if tag >= super::TAG_BWD {
+            st.plan_b
+        } else {
+            st.plan_f
+        },
+        x_local,
+        tag,
+    )
 }
 
 /// As [`spmm_exchange`] with an explicit plan (used directly by tests).
@@ -81,27 +85,38 @@ pub fn spmm_exchange_with_plan(
     let mut ax = Dense::zeros(plan.n_local(), d);
     plan.a_own.spmm_into(x_local, &mut ax, true);
 
-    // Lines 7–9: drain receives in completion order and accumulate.
-    let mut outstanding: Vec<&crate::plan::RemoteBlock> = plan.a_remote.iter().collect();
-    while !outstanding.is_empty() {
+    // Lines 7–9: drain receives eagerly (any completion order), but
+    // *accumulate* strictly in plan order. Remote blocks overlap on output
+    // rows, and float addition is not associative, so summing in arrival
+    // order would let thread scheduling leak into the results — the
+    // repeated-runs-bitwise-identical guarantee the tests pin down.
+    let mut arrived: Vec<Option<Dense>> = (0..plan.a_remote.len()).map(|_| None).collect();
+    let mut next = 0;
+    while next < plan.a_remote.len() {
         let mut progressed = false;
-        outstanding.retain(|block| {
-            if let Some(data) = ctx.try_recv(block.peer, tag) {
-                let x_recv = Dense::from_vec(block.rows.len(), d, data);
-                block.a.spmm_into(&x_recv, &mut ax, true);
-                progressed = true;
-                false
-            } else {
-                true
+        for (i, block) in plan.a_remote.iter().enumerate().skip(next) {
+            if arrived[i].is_none() {
+                if let Some(data) = ctx.try_recv(block.peer, tag) {
+                    arrived[i] = Some(Dense::from_vec(block.rows.len(), d, data));
+                }
             }
-        });
+        }
+        while next < plan.a_remote.len() {
+            let Some(x_recv) = arrived[next].take() else {
+                break;
+            };
+            plan.a_remote[next].a.spmm_into(&x_recv, &mut ax, true);
+            next += 1;
+            progressed = true;
+        }
         if !progressed {
-            // Nothing ready: block on the first outstanding peer instead of
+            // The next in-order block hasn't landed: block on it instead of
             // spinning (keeps the thread-based runtime efficient).
-            let block = outstanding.remove(0);
+            let block = &plan.a_remote[next];
             let data = ctx.recv(block.peer, tag);
             let x_recv = Dense::from_vec(block.rows.len(), d, data);
             block.a.spmm_into(&x_recv, &mut ax, true);
+            next += 1;
         }
     }
     ax

@@ -25,8 +25,8 @@ use pargcn_comm::{CommCounters, Communicator, RankCtx};
 use pargcn_graph::Graph;
 use pargcn_matrix::{gather, Csr, Dense};
 use pargcn_partition::Partition;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// One single-head GAT layer's parameters.
 #[derive(Clone, Debug)]
@@ -49,7 +49,12 @@ impl GatLayer {
         let s = (6.0 / (d_out as f64 + 1.0)).sqrt() as f32;
         let a_src = (0..d_out).map(|_| rng.gen_range(-s..=s)).collect();
         let a_dst = (0..d_out).map(|_| rng.gen_range(-s..=s)).collect();
-        Self { w, a_src, a_dst, negative_slope: 0.2 }
+        Self {
+            w,
+            a_src,
+            a_dst,
+            negative_slope: 0.2,
+        }
     }
 
     #[inline]
@@ -78,14 +83,16 @@ pub fn forward_serial(layer: &GatLayer, pattern: &Csr, h: &Dense) -> Dense {
     let s_dst: Vec<f32> = (0..n).map(|j| dot(&layer.a_dst, p.row(j))).collect();
 
     let mut out = Dense::zeros(n, d);
-    for i in 0..n {
+    for (i, &s_src_i) in s_src.iter().enumerate() {
         let cols = pattern.row_indices(i);
         if cols.is_empty() {
             continue;
         }
         // Numerically stable softmax over the in-neighborhood.
-        let logits: Vec<f32> =
-            cols.iter().map(|&j| layer.lrelu(s_src[i] + s_dst[j as usize])).collect();
+        let logits: Vec<f32> = cols
+            .iter()
+            .map(|&j| layer.lrelu(s_src_i + s_dst[j as usize]))
+            .collect();
         let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = logits.iter().map(|&e| (e - max).exp()).collect();
         let denom: f32 = exps.iter().sum();
@@ -127,22 +134,28 @@ pub fn forward_rank(
         .collect();
 
     // Everything below is local — §4.4's point.
-    let s_src: Vec<f32> =
-        (0..rp.n_local()).map(|i| dot(&layer.a_src, p_local.row(i))).collect();
-    let s_dst_local: Vec<f32> =
-        (0..rp.n_local()).map(|j| dot(&layer.a_dst, p_local.row(j))).collect();
+    let s_src: Vec<f32> = (0..rp.n_local())
+        .map(|i| dot(&layer.a_src, p_local.row(i)))
+        .collect();
+    let s_dst_local: Vec<f32> = (0..rp.n_local())
+        .map(|j| dot(&layer.a_dst, p_local.row(j)))
+        .collect();
     let s_dst_remote: Vec<Vec<f32>> = p_remote
         .iter()
-        .map(|blk| (0..blk.rows()).map(|j| dot(&layer.a_dst, blk.row(j))).collect())
+        .map(|blk| {
+            (0..blk.rows())
+                .map(|j| dot(&layer.a_dst, blk.row(j)))
+                .collect()
+        })
         .collect();
 
     let mut out = Dense::zeros(rp.n_local(), d);
     let mut logits: Vec<f32> = Vec::new();
-    for i in 0..rp.n_local() {
+    for (i, &s_src_i) in s_src.iter().enumerate() {
         logits.clear();
         // Own-block edges, then each remote block's edges for row i.
         for &j in rp.a_own.row_indices(i) {
-            logits.push(layer.lrelu(s_src[i] + s_dst_local[j as usize]));
+            logits.push(layer.lrelu(s_src_i + s_dst_local[j as usize]));
         }
         for (blk, sd) in rp.a_remote.iter().zip(&s_dst_remote) {
             for &j in blk.a.row_indices(i) {
@@ -187,8 +200,11 @@ pub fn forward_distributed(
 ) -> (Dense, Vec<CommCounters>) {
     let a = graph.normalized_adjacency();
     let plan = CommPlan::build(&a, part);
-    let locals: Vec<Dense> =
-        plan.ranks.iter().map(|rp| gather::gather_rows(h0, &rp.local_rows)).collect();
+    let locals: Vec<Dense> = plan
+        .ranks
+        .iter()
+        .map(|rp| gather::gather_rows(h0, &rp.local_rows))
+        .collect();
 
     struct R {
         out: Dense,
@@ -203,7 +219,10 @@ pub fn forward_distributed(
                 h.map_inplace(|v| v.max(0.0)); // inter-layer ReLU
             }
         }
-        R { out: h, counters: ctx.counters().clone() }
+        R {
+            out: h,
+            counters: ctx.counters().clone(),
+        }
     });
 
     let d = layers.last().map(|l| l.w.cols()).unwrap_or(h0.cols());

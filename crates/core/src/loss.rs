@@ -64,15 +64,15 @@ pub fn squared_error(h: &Dense, target: &Dense, mask: &[bool]) -> (f64, Dense) {
     let count = mask.iter().filter(|&&m| m).count().max(1) as f64;
     let mut grad = Dense::zeros(h.rows(), h.cols());
     let mut loss = 0.0f64;
-    for i in 0..h.rows() {
-        if !mask[i] {
+    for (i, &masked) in mask.iter().enumerate().take(h.rows()) {
+        if !masked {
             continue;
         }
         let g = grad.row_mut(i);
-        for j in 0..h.cols() {
+        for (j, gj) in g.iter_mut().enumerate() {
             let d = h.get(i, j) - target.get(i, j);
             loss += 0.5 * (d as f64) * (d as f64);
-            g[j] = d / count as f32;
+            *gj = d / count as f32;
         }
     }
     (loss / count, grad)

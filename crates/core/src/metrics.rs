@@ -114,8 +114,16 @@ mod tests {
     #[test]
     fn volume_stats_from_counters() {
         let counters = vec![
-            CommCounters { sent_bytes: 100, sent_messages: 2, ..Default::default() },
-            CommCounters { sent_bytes: 300, sent_messages: 4, ..Default::default() },
+            CommCounters {
+                sent_bytes: 100,
+                sent_messages: 2,
+                ..Default::default()
+            },
+            CommCounters {
+                sent_bytes: 300,
+                sent_messages: 4,
+                ..Default::default()
+            },
         ];
         let v = VolumeStats::from_counters(&counters);
         assert_eq!(v.avg_sent_bytes, 200.0);

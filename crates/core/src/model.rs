@@ -3,8 +3,8 @@
 use crate::activations::Activation;
 use crate::optim::Optimizer;
 use pargcn_matrix::Dense;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 /// Where the DMM sits relative to the SpMM in each layer (§4.4).
 ///
@@ -62,7 +62,9 @@ impl GcnConfig {
 
     /// Per-layer parameter shapes `(d_{k-1}, d_k)`.
     pub fn shapes(&self) -> Vec<(usize, usize)> {
-        (0..self.layers()).map(|k| (self.dims[k], self.dims[k + 1])).collect()
+        (0..self.layers())
+            .map(|k| (self.dims[k], self.dims[k + 1]))
+            .collect()
     }
 
     /// Glorot-initialized parameters, deterministic in `seed`. Replicated
@@ -108,7 +110,12 @@ mod tests {
 
     #[test]
     fn hidden_relu_output_identity() {
-        let c = GcnConfig { dims: vec![4, 4, 4, 2], learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: Optimizer::Sgd };
+        let c = GcnConfig {
+            dims: vec![4, 4, 4, 2],
+            learning_rate: 0.1,
+            order: LayerOrder::SpmmFirst,
+            optimizer: Optimizer::Sgd,
+        };
         assert_eq!(c.activation(1), Activation::Relu);
         assert_eq!(c.activation(2), Activation::Relu);
         assert_eq!(c.activation(3), Activation::Identity);

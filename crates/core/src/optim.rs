@@ -21,7 +21,11 @@ pub enum Optimizer {
 impl Optimizer {
     /// Adam with the standard (0.9, 0.999, 1e-8) parameters.
     pub fn adam() -> Self {
-        Optimizer::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Optimizer::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 

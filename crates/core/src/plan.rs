@@ -134,11 +134,11 @@ impl CommPlan {
 
             // Off-diagonal blocks per source peer.
             let mut a_remote = Vec::new();
-            for peer in 0..p {
-                if peer == m || needed[m][peer].is_empty() {
+            for (peer, need) in needed[m].iter().enumerate() {
+                if peer == m || need.is_empty() {
                     continue;
                 }
-                let recv_rows = needed[m][peer].clone();
+                let recv_rows = need.clone();
                 let mut recv_map = vec![u32::MAX; n];
                 for (pos, &j) in recv_rows.iter().enumerate() {
                     recv_map[j as usize] = pos as u32;
@@ -146,22 +146,37 @@ impl CommPlan {
                 let block = a_m
                     .filter_cols(|c| recv_map[c as usize] != u32::MAX)
                     .remap_cols(&recv_map, recv_rows.len());
-                a_remote.push(RemoteBlock { peer, rows: recv_rows, a: block });
+                a_remote.push(RemoteBlock {
+                    peer,
+                    rows: recv_rows,
+                    a: block,
+                });
             }
 
             // Send sets: invert `needed` — rank m sends to n the rows n
             // needs from m (Eq. 8: the diagonal of Xₘₙ).
             let mut send = Vec::new();
-            for peer in 0..p {
-                if peer == m || needed[peer][m].is_empty() {
+            for (peer, need_row) in needed.iter().enumerate() {
+                if peer == m || need_row[m].is_empty() {
                     continue;
                 }
-                let local_indices: Vec<u32> =
-                    needed[peer][m].iter().map(|&j| local_index[j as usize]).collect();
-                send.push(SendSet { peer, local_indices });
+                let local_indices: Vec<u32> = need_row[m]
+                    .iter()
+                    .map(|&j| local_index[j as usize])
+                    .collect();
+                send.push(SendSet {
+                    peer,
+                    local_indices,
+                });
             }
 
-            ranks.push(RankPlan { rank: m, local_rows: rows.clone(), a_own, a_remote, send });
+            ranks.push(RankPlan {
+                rank: m,
+                local_rows: rows.clone(),
+                a_own,
+                a_remote,
+                send,
+            });
         }
         CommPlan { ranks, n, p }
     }
@@ -179,18 +194,16 @@ impl CommPlan {
     ) -> Vec<RankPhaseCost> {
         self.ranks
             .iter()
-            .map(|r| {
-                RankPhaseCost {
-                    local_flops: 2.0 * r.a_own.nnz() as f64 * d_spmm as f64,
-                    remote_flops: 2.0
-                        * r.a_remote.iter().map(|b| b.a.nnz()).sum::<usize>() as f64
-                        * d_spmm as f64,
-                    dmm_flops: r.n_local() as f64 * dmm_per_row_flops,
-                    sent_messages: r.send.len() as u64,
-                    sent_bytes: r.sent_rows() * d_msg as u64 * 4,
-                    recv_messages: r.a_remote.len() as u64,
-                    recv_bytes: r.recv_rows() * d_msg as u64 * 4,
-                }
+            .map(|r| RankPhaseCost {
+                local_flops: 2.0 * r.a_own.nnz() as f64 * d_spmm as f64,
+                remote_flops: 2.0
+                    * r.a_remote.iter().map(|b| b.a.nnz()).sum::<usize>() as f64
+                    * d_spmm as f64,
+                dmm_flops: r.n_local() as f64 * dmm_per_row_flops,
+                sent_messages: r.send.len() as u64,
+                sent_bytes: r.sent_rows() * d_msg as u64 * 4,
+                recv_messages: r.a_remote.len() as u64,
+                recv_bytes: r.recv_rows() * d_msg as u64 * 4,
             })
             .collect()
     }
@@ -212,8 +225,8 @@ mod tests {
     use pargcn_graph::gen::er;
     use pargcn_matrix::{gather, Dense};
     use pargcn_partition::{metrics, random, Hypergraph};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
+    use pargcn_util::rng::StdRng;
 
     fn sample() -> (Csr, Partition) {
         let g = er::generate(30, 120, true, 3);

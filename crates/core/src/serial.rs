@@ -39,10 +39,20 @@ impl SerialTrainer {
     /// from `param_seed`.
     pub fn new(graph: &Graph, config: GcnConfig, param_seed: u64) -> Self {
         let a = graph.normalized_adjacency();
-        let a_back = if graph.directed() { a.transpose() } else { a.clone() };
+        let a_back = if graph.directed() {
+            a.transpose()
+        } else {
+            a.clone()
+        };
         let params = config.init_params(param_seed);
         let opt_state = OptimizerState::new(config.optimizer, &config.shapes());
-        Self { a, a_back, config, params, opt_state }
+        Self {
+            a,
+            a_back,
+            config,
+            params,
+            opt_state,
+        }
     }
 
     /// Builds directly from a normalized adjacency (used by mini-batch
@@ -50,7 +60,13 @@ impl SerialTrainer {
     pub fn from_adjacency(a: Csr, directed: bool, config: GcnConfig, params: Params) -> Self {
         let a_back = if directed { a.transpose() } else { a.clone() };
         let opt_state = OptimizerState::new(config.optimizer, &config.shapes());
-        Self { a, a_back, config, params, opt_state }
+        Self {
+            a,
+            a_back,
+            config,
+            params,
+            opt_state,
+        }
     }
 
     pub fn config(&self) -> &GcnConfig {
@@ -83,7 +99,12 @@ impl SerialTrainer {
         let layers = self.config.layers();
         let mut delta_w = vec![Dense::zeros(0, 0); layers];
         // G^L = ∇_{H^L} J ⊙ σ'(Z^L)  (Eq. 2)
-        let mut g = grad_hl.hadamard(&self.config.activation(layers).derivative(&state.z[layers - 1]));
+        let mut g = grad_hl.hadamard(
+            &self
+                .config
+                .activation(layers)
+                .derivative(&state.z[layers - 1]),
+        );
         for k in (1..=layers).rev() {
             let w = &self.params.weights[k - 1];
             match self.config.order {
@@ -115,7 +136,8 @@ impl SerialTrainer {
     /// Applies the parameter update (Eq. 5 for SGD; Adam when configured).
     pub fn apply_gradients(&mut self, delta_w: &[Dense]) {
         for (layer, (w, dw)) in self.params.weights.iter_mut().zip(delta_w).enumerate() {
-            self.opt_state.apply(layer, w, dw, self.config.learning_rate);
+            self.opt_state
+                .apply(layer, w, dw, self.config.learning_rate);
         }
         self.opt_state.advance();
     }
@@ -167,8 +189,8 @@ mod tests {
         let mut config = GcnConfig::two_layer(3, 4, 2);
         config.learning_rate = 0.0; // no updates during probing
         let t = SerialTrainer::new(&g, config, 7);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        use rand::SeedableRng;
+        let mut rng = pargcn_util::rng::StdRng::seed_from_u64(3);
+        use pargcn_util::rng::SeedableRng;
         let h0 = Dense::random(5, 3, &mut rng);
         let labels = vec![0u32, 1, 0, 1, 0];
         let mask = vec![true, true, false, true, true];
@@ -178,23 +200,25 @@ mod tests {
         let analytic = t.backward(&state, &grad_hl);
 
         let eps = 1e-2f32;
-        for layer in 0..2 {
+        for (layer, analytic_grad) in analytic.iter().enumerate().take(2) {
             for i in 0..t.params.weights[layer].rows() {
                 for j in 0..t.params.weights[layer].cols() {
                     let mut tp = SerialTrainer::new(&g, t.config.clone(), 7);
                     tp.params = t.params.clone();
                     let w = &mut tp.params.weights[layer];
                     w.set(i, j, w.get(i, j) + eps);
-                    let (lp, _) = loss::softmax_cross_entropy(&tp.forward(&h0).h[2], &labels, &mask);
+                    let (lp, _) =
+                        loss::softmax_cross_entropy(&tp.forward(&h0).h[2], &labels, &mask);
 
                     let mut tm = SerialTrainer::new(&g, t.config.clone(), 7);
                     tm.params = t.params.clone();
                     let w = &mut tm.params.weights[layer];
                     w.set(i, j, w.get(i, j) - eps);
-                    let (lm, _) = loss::softmax_cross_entropy(&tm.forward(&h0).h[2], &labels, &mask);
+                    let (lm, _) =
+                        loss::softmax_cross_entropy(&tm.forward(&h0).h[2], &labels, &mask);
 
                     let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
-                    let an = analytic[layer].get(i, j);
+                    let an = analytic_grad.get(i, j);
                     assert!(
                         (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
                         "layer {layer} ({i},{j}): fd {fd} vs analytic {an}"
@@ -206,20 +230,37 @@ mod tests {
 
     #[test]
     fn training_reduces_loss_on_learnable_data() {
-        let d = sbm::generate(SbmParams { n: 280, classes: 4, features: 8, ..Default::default() }, 5);
+        let d = sbm::generate(
+            SbmParams {
+                n: 280,
+                classes: 4,
+                features: 8,
+                ..Default::default()
+            },
+            5,
+        );
         let mut t = SerialTrainer::new(&d.graph, GcnConfig::two_layer(8, 16, 4), 2);
         let first = t.train_epoch(&d.features, &d.labels, &d.train_mask);
         let mut last = first;
         for _ in 0..30 {
             last = t.train_epoch(&d.features, &d.labels, &d.train_mask);
         }
-        assert!(last < first * 0.8, "loss did not decrease: {first} → {last}");
+        assert!(
+            last < first * 0.8,
+            "loss did not decrease: {first} → {last}"
+        );
     }
 
     #[test]
     fn learns_planted_partition_above_chance() {
         let d = sbm::generate(
-            SbmParams { n: 400, classes: 4, features: 16, feature_separation: 2.0, ..Default::default() },
+            SbmParams {
+                n: 400,
+                classes: 4,
+                features: 16,
+                feature_separation: 2.0,
+                ..Default::default()
+            },
             9,
         );
         let mut t = SerialTrainer::new(&d.graph, GcnConfig::two_layer(16, 16, 4), 3);
@@ -271,9 +312,8 @@ mod tests {
         c2.order = LayerOrder::DmmFirst;
         let t1 = SerialTrainer::new(&g, c1, 5);
         let t2 = SerialTrainer::new(&g, c2, 5);
-        use rand::SeedableRng;
-        let h0 = Dense::random(5, 3, &mut rand::rngs::StdRng::seed_from_u64(1));
+        use pargcn_util::rng::SeedableRng;
+        let h0 = Dense::random(5, 3, &mut pargcn_util::rng::StdRng::seed_from_u64(1));
         assert!(t1.predict(&h0).approx_eq(&t2.predict(&h0), 1e-4));
     }
-
 }

@@ -17,8 +17,8 @@ use pargcn_comm::{CommCounters, Communicator};
 use pargcn_graph::Graph;
 use pargcn_matrix::{gather, Csr, Dense};
 use pargcn_partition::Partition;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 /// Serial K-hop propagation: `Â^K · H`.
 pub fn propagate_serial(a: &Csr, h0: &Dense, k: usize) -> Dense {
@@ -31,6 +31,9 @@ pub fn propagate_serial(a: &Csr, h0: &Dense, k: usize) -> Dense {
 
 /// Serial SGC training: propagate once, then `epochs` steps of softmax
 /// regression on the propagated features. Returns `(W, per-epoch losses)`.
+// The training entry points take the full problem description by design;
+// a config struct would just rename the eight pieces.
+#[allow(clippy::too_many_arguments)]
 pub fn train_serial(
     a: &Csr,
     h0: &Dense,
@@ -146,7 +149,12 @@ pub fn train_distributed(
             w.sub_scaled_assign(&dw, learning_rate);
         }
         let pred = hp.matmul(&w);
-        R { w, losses, pred, counters: ctx.counters().clone() }
+        R {
+            w,
+            losses,
+            pred,
+            counters: ctx.counters().clone(),
+        }
     });
 
     let mut predictions = Dense::zeros(n, classes);
@@ -169,7 +177,13 @@ mod tests {
 
     fn setup() -> (Graph, Dense, Vec<u32>, Vec<bool>) {
         let d = sbm::generate(
-            SbmParams { n: 300, classes: 4, features: 8, feature_separation: 1.5, ..Default::default() },
+            SbmParams {
+                n: 300,
+                classes: 4,
+                features: 8,
+                feature_separation: 1.5,
+                ..Default::default()
+            },
             3,
         );
         (d.graph, d.features, d.labels, d.train_mask)
@@ -182,8 +196,11 @@ mod tests {
         let serial = propagate_serial(&a, &h0, 3);
         let part = partition_rows(&g, &a, Method::Hp, 4, 0.1, 1);
         let plan = CommPlan::build(&a, &part);
-        let locals: Vec<Dense> =
-            plan.ranks.iter().map(|rp| gather::gather_rows(&h0, &rp.local_rows)).collect();
+        let locals: Vec<Dense> = plan
+            .ranks
+            .iter()
+            .map(|rp| gather::gather_rows(&h0, &rp.local_rows))
+            .collect();
         let results = Communicator::run(4, |ctx| {
             let rp = &plan.ranks[ctx.rank()];
             let mut hp = locals[ctx.rank()].clone();
@@ -205,14 +222,17 @@ mod tests {
     fn distributed_training_matches_serial() {
         let (g, h0, labels, mask) = setup();
         let a = g.normalized_adjacency();
-        let (w_serial, losses_serial) =
-            train_serial(&a, &h0, 2, 4, &labels, &mask, 5, 0.5, 11);
+        let (w_serial, losses_serial) = train_serial(&a, &h0, 2, 4, &labels, &mask, 5, 0.5, 11);
         let part = partition_rows(&g, &a, Method::Gp, 3, 0.1, 2);
         let out = train_distributed(&g, &h0, 2, 4, &labels, &mask, &part, 5, 0.5, 11);
         for (s, d) in losses_serial.iter().zip(&out.losses) {
             assert!((s - d).abs() < 1e-3 * (1.0 + s.abs()), "loss {s} vs {d}");
         }
-        assert!(out.w.approx_eq(&w_serial, 2e-3), "W diverged {}", out.w.max_abs_diff(&w_serial));
+        assert!(
+            out.w.approx_eq(&w_serial, 2e-3),
+            "W diverged {}",
+            out.w.max_abs_diff(&w_serial)
+        );
     }
 
     #[test]
@@ -228,7 +248,11 @@ mod tests {
         let short = train_distributed(&g, &h0, k, 4, &labels, &mask, &part, 1, 0.5, 1);
         let long = train_distributed(&g, &h0, k, 4, &labels, &mask, &part, 50, 0.5, 1);
         let bytes = |o: &SgcOutcome| o.counters.iter().map(|c| c.sent_bytes).sum::<u64>();
-        assert_eq!(bytes(&short), bytes(&long), "epochs must add zero P2P traffic");
+        assert_eq!(
+            bytes(&short),
+            bytes(&long),
+            "epochs must add zero P2P traffic"
+        );
         // And the propagation traffic is exactly K sweeps of the plan volume.
         let expected = plan.total_volume_rows() * (h0.cols() as u64) * 4 * k as u64;
         assert_eq!(bytes(&short), expected);

@@ -14,8 +14,8 @@ use pargcn_graph::Graph;
 use pargcn_matrix::Dense;
 use pargcn_partition::stochastic::Sampler;
 use pargcn_partition::{partition_rows, Method, Partition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 const TOL: f32 = 2e-3;
 
@@ -29,8 +29,9 @@ fn assert_equivalent(
 ) {
     let mut rng = StdRng::seed_from_u64(data_seed);
     let h0 = Dense::random(graph.n(), config.dims[0], &mut rng);
-    let labels: Vec<u32> =
-        (0..graph.n()).map(|i| (i % config.dims[config.layers()]) as u32).collect();
+    let labels: Vec<u32> = (0..graph.n())
+        .map(|i| (i % config.dims[config.layers()]) as u32)
+        .collect();
     let mask: Vec<bool> = (0..graph.n()).map(|i| i % 3 != 2).collect();
 
     let mut serial = SerialTrainer::new(graph, config.clone(), 42);
@@ -55,7 +56,13 @@ fn assert_equivalent(
         part.p(),
         out.predictions.max_abs_diff(&serial_pred)
     );
-    for (k, (sw, dw)) in serial.params.weights.iter().zip(&out.params.weights).enumerate() {
+    for (k, (sw, dw)) in serial
+        .params
+        .weights
+        .iter()
+        .zip(&out.params.weights)
+        .enumerate()
+    {
         assert!(
             sw.approx_eq(dw, TOL),
             "W{k} diverged (max diff {})",
@@ -73,7 +80,10 @@ fn all_partitioners_match_serial_undirected() {
         Method::Rp,
         Method::Gp,
         Method::Hp,
-        Method::Shp { sampler: Sampler::UniformVertex { batch_size: 40 }, batches: 3 },
+        Method::Shp {
+            sampler: Sampler::UniformVertex { batch_size: 40 },
+            batches: 3,
+        },
     ] {
         let part = partition_rows(&g, &a, method, 4, 0.1, 9);
         assert_equivalent(&g, &config, &part, 4, 7);
@@ -97,7 +107,9 @@ fn deeper_networks_match_serial() {
     let config = GcnConfig {
         dims: vec![4, 6, 6, 6, 3],
         learning_rate: 0.05,
-        order: LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+        order: LayerOrder::SpmmFirst,
+        optimizer: pargcn_core::optim::Optimizer::Sgd,
+    };
     let part = partition_rows(&g, &a, Method::Hp, 5, 0.1, 1);
     assert_equivalent(&g, &config, &part, 3, 13);
 }
@@ -110,7 +122,9 @@ fn dmm_first_order_matches_serial() {
     let config = GcnConfig {
         dims: vec![6, 5, 3],
         learning_rate: 0.1,
-        order: LayerOrder::DmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+        order: LayerOrder::DmmFirst,
+        optimizer: pargcn_core::optim::Optimizer::Sgd,
+    };
     let part = partition_rows(&g, &a, Method::Gp, 4, 0.1, 5);
     assert_equivalent(&g, &config, &part, 3, 17);
 }
@@ -188,7 +202,12 @@ fn counters_match_static_prediction() {
     // epochs × sweeps — exact, not approximate.
     let g = community::copurchase(160, 6.0, false, 2);
     let a = g.normalized_adjacency();
-    let config = GcnConfig { dims: vec![8, 8, 4], learning_rate: 0.1, order: LayerOrder::SpmmFirst, optimizer: pargcn_core::optim::Optimizer::Sgd };
+    let config = GcnConfig {
+        dims: vec![8, 8, 4],
+        learning_rate: 0.1,
+        order: LayerOrder::SpmmFirst,
+        optimizer: pargcn_core::optim::Optimizer::Sgd,
+    };
     let part = partition_rows(&g, &a, Method::Hp, 4, 0.1, 8);
     let plan = pargcn_core::CommPlan::build(&a, &part);
     let epochs = 2;
@@ -219,7 +238,13 @@ fn accuracy_unaffected_by_parallelism_fig4c() {
     // Fig. 4c in miniature: train the Cora-like SBM serially and at several
     // processor counts; accuracies agree and beat chance.
     let d = sbm::generate(
-        sbm::SbmParams { n: 350, classes: 5, features: 12, feature_separation: 1.6, ..Default::default() },
+        sbm::SbmParams {
+            n: 350,
+            classes: 5,
+            features: 12,
+            feature_separation: 1.6,
+            ..Default::default()
+        },
         13,
     );
     let config = GcnConfig::two_layer(12, 16, 5);
@@ -236,8 +261,16 @@ fn accuracy_unaffected_by_parallelism_fig4c() {
     let a = d.graph.normalized_adjacency();
     for p in [2usize, 5, 9] {
         let part = partition_rows(&d.graph, &a, Method::Hp, p, 0.1, 21);
-        let out =
-            train_full_batch(&d.graph, &d.features, &d.labels, &d.train_mask, &part, &config, 30, 3);
+        let out = train_full_batch(
+            &d.graph,
+            &d.features,
+            &d.labels,
+            &d.train_mask,
+            &part,
+            &config,
+            30,
+            3,
+        );
         let acc = pargcn_core::loss::accuracy(&out.predictions, &d.labels, &test_mask);
         assert!(
             (acc - serial_acc).abs() < 0.05,
@@ -263,7 +296,13 @@ fn adam_optimizer_matches_serial() {
 #[test]
 fn adam_converges_on_learnable_data() {
     let d = sbm::generate(
-        sbm::SbmParams { n: 260, classes: 4, features: 8, feature_separation: 1.4, ..Default::default() },
+        sbm::SbmParams {
+            n: 260,
+            classes: 4,
+            features: 8,
+            feature_separation: 1.4,
+            ..Default::default()
+        },
         19,
     );
     let mut config = GcnConfig::two_layer(8, 12, 4);
@@ -271,7 +310,16 @@ fn adam_converges_on_learnable_data() {
     config.optimizer = pargcn_core::optim::Optimizer::adam();
     let a = d.graph.normalized_adjacency();
     let part = partition_rows(&d.graph, &a, Method::Hp, 3, 0.1, 2);
-    let out = train_full_batch(&d.graph, &d.features, &d.labels, &d.train_mask, &part, &config, 25, 4);
+    let out = train_full_batch(
+        &d.graph,
+        &d.features,
+        &d.labels,
+        &d.train_mask,
+        &part,
+        &config,
+        25,
+        4,
+    );
     assert!(
         out.losses.last().unwrap() < &(out.losses[0] * 0.7),
         "Adam failed to converge: {:?} → {:?}",
@@ -299,7 +347,10 @@ fn rank_with_no_labelled_vertices_is_fine() {
     let mut serial = SerialTrainer::new(&g, config, 9);
     for (e, d) in out.losses.iter().enumerate() {
         let s = serial.train_epoch(&h0, &labels, &mask);
-        assert!((s - d).abs() < 1e-3 * (1.0 + s.abs()), "epoch {e}: {s} vs {d}");
+        assert!(
+            (s - d).abs() < 1e-3 * (1.0 + s.abs()),
+            "epoch {e}: {s} vs {d}"
+        );
     }
 }
 

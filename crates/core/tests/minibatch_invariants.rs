@@ -9,8 +9,8 @@ use pargcn_graph::gen::community;
 use pargcn_matrix::Dense;
 use pargcn_partition::stochastic::{sample_batches, Sampler};
 use pargcn_partition::{partition_rows, Method, Partition};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 fn setup(n: usize, seed: u64) -> (pargcn_graph::Graph, Dense, Vec<u32>, Vec<bool>) {
     let g = community::copurchase(n, 6.0, false, seed);
@@ -37,7 +37,11 @@ fn full_cover_batch_is_full_batch_step() {
 
     assert!((out.losses[0] - serial_loss).abs() < 1e-3 * (1.0 + serial_loss.abs()));
     for (a, b) in out.params.weights.iter().zip(&serial.params.weights) {
-        assert!(a.approx_eq(b, 2e-3), "params diverged: {}", a.max_abs_diff(b));
+        assert!(
+            a.approx_eq(b, 2e-3),
+            "params diverged: {}",
+            a.max_abs_diff(b)
+        );
     }
 }
 
@@ -74,7 +78,10 @@ fn batch_volume_bounded_by_full_volume() {
     let full = pargcn_partition::metrics::spmm_comm_stats(&a, &part).total_rows;
     for batch in sample_batches(&g, Sampler::UniformVertex { batch_size: 100 }, 5, 13) {
         let v = minibatch::batch_comm_volume(&g, &batch, &part);
-        assert!(v <= full, "batch volume {v} exceeds full-batch volume {full}");
+        assert!(
+            v <= full,
+            "batch volume {v} exceeds full-batch volume {full}"
+        );
     }
 }
 
@@ -91,7 +98,11 @@ fn unlabelled_batches_are_skipped() {
     let out = minibatch::train(&g, &h0, &labels, &mask, &part, &config, &[batch], 21);
     assert!(out.losses.is_empty(), "unlabelled batch should be skipped");
     let init = config.init_params(21);
-    assert_eq!(out.params.max_abs_diff(&init), 0.0, "params must be untouched");
+    assert_eq!(
+        out.params.max_abs_diff(&init),
+        0.0,
+        "params must be untouched"
+    );
 }
 
 /// `restrict_partition` is stable under permutation of the batch list and

@@ -49,7 +49,11 @@ pub fn connected_components(graph: &Graph) -> Components {
         }
         largest = largest.max(size);
     }
-    Components { count, largest, labels }
+    Components {
+        count,
+        largest,
+        labels,
+    }
 }
 
 /// Pseudo-diameter: the double-sweep lower bound (BFS from a start vertex,

@@ -148,16 +148,15 @@ impl Dataset {
                 // out-degree.
                 pref_attach::generate(n, avg_deg.round().max(1.0) as usize, true, seed)
             }
-            Dataset::ComYoutube | Dataset::Reddit => {
-                social::generate(n, avg_deg, false, seed)
-            }
-            Dataset::Flickr | Dataset::SocSlashdot0902 => {
-                social::generate(n, avg_deg, true, seed)
-            }
+            Dataset::ComYoutube | Dataset::Reddit => social::generate(n, avg_deg, false, seed),
+            Dataset::Flickr | Dataset::SocSlashdot0902 => social::generate(n, avg_deg, true, seed),
             Dataset::RoadNetCa => grid::road_network(n, seed),
             Dataset::Cora => {
                 let labelled = sbm::generate(
-                    sbm::SbmParams { n, ..Default::default() },
+                    sbm::SbmParams {
+                        n,
+                        ..Default::default()
+                    },
                     seed,
                 );
                 return GraphData {
@@ -168,7 +167,12 @@ impl Dataset {
                 };
             }
         };
-        GraphData { graph, features: None, labels: None, train_mask: None }
+        GraphData {
+            graph,
+            features: None,
+            labels: None,
+            train_mask: None,
+        }
     }
 
     /// Generates at the default scale.
@@ -190,7 +194,12 @@ mod tests {
             assert!(data.graph.n() >= 16, "{} empty", ds.name());
             assert!(data.graph.num_edges() > 0, "{} has no edges", ds.name());
             let (_, _, directed) = ds.paper_properties();
-            assert_eq!(data.graph.directed(), directed, "{} directedness", ds.name());
+            assert_eq!(
+                data.graph.directed(),
+                directed,
+                "{} directedness",
+                ds.name()
+            );
         }
     }
 
@@ -216,7 +225,11 @@ mod tests {
     #[test]
     fn average_degree_within_family_band() {
         // Degree should be within 3x of the paper value for representative sets.
-        for ds in [Dataset::ComAmazon, Dataset::RoadNetCa, Dataset::SocSlashdot0902] {
+        for ds in [
+            Dataset::ComAmazon,
+            Dataset::RoadNetCa,
+            Dataset::SocSlashdot0902,
+        ] {
             let (v, e, _) = ds.paper_properties();
             let paper_avg = e as f64 / v as f64;
             let g = ds.generate(Scale(ds.default_scale().0 * 4), 5).graph;

@@ -9,8 +9,8 @@
 //! which this model reproduces directly.
 
 use crate::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// Affiliation-model parameters.
 #[derive(Clone, Copy, Debug)]
@@ -36,7 +36,9 @@ pub fn generate(params: CommunityParams, seed: u64) -> Graph {
     // the graph has locality (real product ids cluster by category), plus a
     // few global members for cross-community edges.
     while assigned < total_memberships {
-        let size = rng.gen_range(params.community_size / 2..=params.community_size * 3 / 2).max(2);
+        let size = rng
+            .gen_range(params.community_size / 2..=params.community_size * 3 / 2)
+            .max(2);
         let base = rng.gen_range(0..n);
         let window = (size * 4).min(n);
         let mut members = Vec::with_capacity(size);
@@ -73,7 +75,13 @@ pub fn copurchase(n: usize, avg_degree: f64, directed: bool, seed: u64) -> Graph
     let intra_prob = 0.55;
     let memberships = avg_degree / ((community_size as f64 - 1.0) * intra_prob);
     generate(
-        CommunityParams { n, community_size, memberships, intra_prob, directed },
+        CommunityParams {
+            n,
+            community_size,
+            memberships,
+            intra_prob,
+            directed,
+        },
         seed,
     )
 }
@@ -84,7 +92,13 @@ pub fn coauthor(n: usize, avg_degree: f64, seed: u64) -> Graph {
     let intra_prob = 0.9;
     let memberships = avg_degree / ((community_size as f64 - 1.0) * intra_prob);
     generate(
-        CommunityParams { n, community_size, memberships, intra_prob, directed: false },
+        CommunityParams {
+            n,
+            community_size,
+            memberships,
+            intra_prob,
+            directed: false,
+        },
         seed,
     )
 }

@@ -3,8 +3,8 @@
 //! random by much, which is itself a useful sanity check).
 
 use crate::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// Generates a uniform random graph with `n` vertices and about `m` edges.
 pub fn generate(n: usize, m: usize, directed: bool, seed: u64) -> Graph {

@@ -7,8 +7,8 @@
 //! and occasional diagonal shortcuts reproduces exactly those properties.
 
 use crate::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// Generates a `width × height` lattice, dropping each lattice edge with
 /// probability `drop_prob` and adding a diagonal with probability
@@ -59,7 +59,11 @@ mod tests {
     fn road_network_matches_family_stats() {
         let g = road_network(10_000, 3);
         let s = g.degree_stats();
-        assert!(s.avg > 2.0 && s.avg < 3.6, "avg degree {} not road-like", s.avg);
+        assert!(
+            s.avg > 2.0 && s.avg < 3.6,
+            "avg degree {} not road-like",
+            s.avg
+        );
         assert!(s.skew < 3.0, "road networks are not skewed, got {}", s.skew);
     }
 

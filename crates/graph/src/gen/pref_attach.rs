@@ -11,8 +11,8 @@
 //! vertices — the citation direction of cit-Patents and ogbn-Papers100M.
 
 use crate::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// Fraction of citations that go to a recent paper rather than a globally
 /// popular one.

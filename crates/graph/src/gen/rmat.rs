@@ -7,8 +7,8 @@
 //! volume imbalance, Table 2) this reproduction must reproduce.
 
 use crate::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// R-MAT parameters.
 #[derive(Clone, Copy, Debug)]
@@ -29,7 +29,14 @@ pub struct RmatParams {
 impl RmatParams {
     /// The standard skewed parameterization used by Graph500.
     pub fn social(scale: u32, edges: usize, directed: bool) -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, scale, edges, directed }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale,
+            edges,
+            directed,
+        }
     }
 }
 
@@ -114,7 +121,11 @@ mod tests {
     fn degree_distribution_is_skewed() {
         let g = generate(RmatParams::social(10, 10_000, true), 7);
         let s = g.degree_stats();
-        assert!(s.skew > 8.0, "R-MAT should be heavy-tailed, got skew {}", s.skew);
+        assert!(
+            s.skew > 8.0,
+            "R-MAT should be heavy-tailed, got skew {}",
+            s.skew
+        );
     }
 
     #[test]

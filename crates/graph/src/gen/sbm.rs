@@ -10,8 +10,8 @@
 
 use crate::Graph;
 use pargcn_matrix::Dense;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pargcn_util::rng::StdRng;
+use pargcn_util::rng::{Rng, SeedableRng};
 
 /// Parameters for the planted-partition dataset.
 #[derive(Clone, Copy, Debug)]
@@ -101,8 +101,9 @@ pub fn generate(params: SbmParams, seed: u64) -> Labelled {
     // Per-class centroids on random directions, then unit-variance noise.
     let mut centroids = Vec::with_capacity(k);
     for _ in 0..k {
-        let c: Vec<f32> =
-            (0..params.features).map(|_| std_normal(&mut rng) * params.feature_separation).collect();
+        let c: Vec<f32> = (0..params.features)
+            .map(|_| std_normal(&mut rng) * params.feature_separation)
+            .collect();
         centroids.push(c);
     }
     let mut features = Dense::zeros(n, params.features);
@@ -118,7 +119,12 @@ pub fn generate(params: SbmParams, seed: u64) -> Labelled {
     // are assigned round-robin by `i % k`, so stepping in units of `k`
     // walks one class) to keep every class present on both sides.
     let train_mask: Vec<bool> = (0..n).map(|i| (i / k) % 5 < 3).collect();
-    Labelled { graph, features, labels, train_mask }
+    Labelled {
+        graph,
+        features,
+        labels,
+        train_mask,
+    }
 }
 
 #[cfg(test)]
@@ -127,8 +133,14 @@ mod tests {
 
     #[test]
     fn balanced_classes() {
-        let d = generate(SbmParams { n: 700, ..Default::default() }, 3);
-        let mut counts = vec![0usize; 7];
+        let d = generate(
+            SbmParams {
+                n: 700,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut counts = [0usize; 7];
         for &l in &d.labels {
             counts[l as usize] += 1;
         }
@@ -147,12 +159,22 @@ mod tests {
             }
         }
         let frac = intra as f64 / total as f64;
-        assert!(frac > 0.6, "intra-class edge fraction {frac} too low for planted partition");
+        assert!(
+            frac > 0.6,
+            "intra-class edge fraction {frac} too low for planted partition"
+        );
     }
 
     #[test]
     fn features_are_class_separated() {
-        let d = generate(SbmParams { n: 1400, feature_separation: 2.0, ..Default::default() }, 7);
+        let d = generate(
+            SbmParams {
+                n: 1400,
+                feature_separation: 2.0,
+                ..Default::default()
+            },
+            7,
+        );
         // Average distance to own-class mean must be below distance to the
         // global mean for separated Gaussians.
         let dcols = d.features.cols();
@@ -160,24 +182,28 @@ mod tests {
         let mut counts = [0usize; 7];
         for v in 0..1400 {
             counts[d.labels[v] as usize] += 1;
-            for j in 0..dcols {
-                class_mean[d.labels[v] as usize][j] += d.features.get(v, j) as f64;
+            for (j, m) in class_mean[d.labels[v] as usize].iter_mut().enumerate() {
+                *m += d.features.get(v, j) as f64;
             }
         }
         for (c, m) in class_mean.iter_mut().enumerate() {
             m.iter_mut().for_each(|x| *x /= counts[c] as f64);
         }
         // Centroids should be pairwise far apart (separation 2 × random dirs).
-        let dist =
-            |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt();
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
         assert!(dist(&class_mean[0], &class_mean[1]) > 2.0);
     }
 
     #[test]
     fn train_mask_is_roughly_60_percent() {
         let d = generate(SbmParams::default(), 1);
-        let frac =
-            d.train_mask.iter().filter(|&&m| m).count() as f64 / d.train_mask.len() as f64;
+        let frac = d.train_mask.iter().filter(|&&m| m).count() as f64 / d.train_mask.len() as f64;
         assert!((frac - 0.6).abs() < 0.05);
     }
 

@@ -20,15 +20,23 @@ const RMAT_FRACTION: f64 = 0.5;
 /// `avg_degree` stored entries per vertex.
 pub fn generate(n: usize, avg_degree: f64, directed: bool, seed: u64) -> Graph {
     let core = rmat::generate_sized(n, avg_degree * RMAT_FRACTION, directed, seed);
-    let overlay =
-        community::copurchase(n, avg_degree * (1.0 - RMAT_FRACTION), directed, seed ^ 0x50C1A1);
+    let overlay = community::copurchase(
+        n,
+        avg_degree * (1.0 - RMAT_FRACTION),
+        directed,
+        seed ^ 0x50C1A1,
+    );
     union(&core, &overlay)
 }
 
 /// Edge-set union of two graphs over the same vertex set.
 fn union(a: &Graph, b: &Graph) -> Graph {
     assert_eq!(a.n(), b.n(), "union requires equal vertex sets");
-    assert_eq!(a.directed(), b.directed(), "union requires equal directedness");
+    assert_eq!(
+        a.directed(),
+        b.directed(),
+        "union requires equal directedness"
+    );
     let mut coo: Vec<(u32, u32, f32)> = a.adjacency().iter().collect();
     coo.extend(b.adjacency().iter());
     let merged = Csr::from_coo(a.n(), a.n(), coo);
@@ -57,7 +65,11 @@ mod tests {
     #[test]
     fn keeps_the_heavy_tail() {
         let g = generate(4000, 10.0, true, 5);
-        assert!(g.degree_stats().skew > 6.0, "skew {} lost", g.degree_stats().skew);
+        assert!(
+            g.degree_stats().skew > 6.0,
+            "skew {} lost",
+            g.degree_stats().skew
+        );
     }
 
     #[test]

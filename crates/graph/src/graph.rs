@@ -27,7 +27,11 @@ impl Graph {
     /// Builds a graph from an edge list. Self loops and duplicate edges are
     /// dropped. For undirected graphs each input edge is mirrored.
     pub fn from_edges(n: usize, directed: bool, edges: &[(u32, u32)]) -> Self {
-        let mut coo = Vec::with_capacity(if directed { edges.len() } else { edges.len() * 2 });
+        let mut coo = Vec::with_capacity(if directed {
+            edges.len()
+        } else {
+            edges.len() * 2
+        });
         for &(u, v) in edges {
             if u == v {
                 continue;
@@ -48,13 +52,23 @@ impl Graph {
             adjacency.indices().to_vec(),
             ones,
         );
-        Self { adjacency, directed }
+        Self {
+            adjacency,
+            directed,
+        }
     }
 
     /// Wraps an existing CSR adjacency (values are edge weights).
     pub fn from_adjacency(adjacency: Csr, directed: bool) -> Self {
-        assert_eq!(adjacency.n_rows(), adjacency.n_cols(), "adjacency must be square");
-        Self { adjacency, directed }
+        assert_eq!(
+            adjacency.n_rows(),
+            adjacency.n_cols(),
+            "adjacency must be square"
+        );
+        Self {
+            adjacency,
+            directed,
+        }
     }
 
     #[inline]
@@ -95,7 +109,12 @@ impl Graph {
     pub fn degree_stats(&self) -> DegreeStats {
         let n = self.n();
         if n == 0 {
-            return DegreeStats { min: 0, max: 0, avg: 0.0, skew: 0.0 };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                avg: 0.0,
+                skew: 0.0,
+            };
         }
         let mut min = usize::MAX;
         let mut max = 0usize;
@@ -107,7 +126,12 @@ impl Graph {
             total += d;
         }
         let avg = total as f64 / n as f64;
-        DegreeStats { min, max, avg, skew: if avg > 0.0 { max as f64 / avg } else { 0.0 } }
+        DegreeStats {
+            min,
+            max,
+            avg,
+            skew: if avg > 0.0 { max as f64 / avg } else { 0.0 },
+        }
     }
 
     /// A symmetrized copy (union of the edge set with its reverse); identity
@@ -131,7 +155,10 @@ impl Graph {
             merged.indices().to_vec(),
             ones,
         );
-        Graph { adjacency, directed: false }
+        Graph {
+            adjacency,
+            directed: false,
+        }
     }
 
     /// The vertex-induced subgraph on `vertices` (kept in the given order),

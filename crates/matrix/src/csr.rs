@@ -33,7 +33,10 @@ impl Csr {
     /// Panics if any coordinate is out of bounds.
     pub fn from_coo(n_rows: usize, n_cols: usize, mut coo: Vec<(u32, u32, f32)>) -> Self {
         for &(r, c, _) in &coo {
-            assert!((r as usize) < n_rows && (c as usize) < n_cols, "coo entry out of bounds");
+            assert!(
+                (r as usize) < n_rows && (c as usize) < n_cols,
+                "coo entry out of bounds"
+            );
         }
         coo.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
         let mut indices = Vec::with_capacity(coo.len());
@@ -56,7 +59,13 @@ impl Csr {
         for i in 0..n_rows {
             indptr[i + 1] += indptr[i];
         }
-        Self { n_rows, n_cols, indptr, indices, values }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds directly from CSR arrays.
@@ -84,7 +93,13 @@ impl Csr {
                 assert!((c as usize) < n_cols, "column out of bounds");
             }
         }
-        Self { n_rows, n_cols, indptr, indices, values }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -179,7 +194,13 @@ impl Csr {
                 cursor[c as usize] += 1;
             }
         }
-        Csr { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices, values }
+        Csr {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// SpMM: `self × h` where `h` is dense. `self` is `m×k`, `h` is `k×d`.
@@ -226,7 +247,13 @@ impl Csr {
             values.extend_from_slice(self.row_values(r as usize));
             indptr.push(indices.len());
         }
-        Csr { n_rows: rows.len(), n_cols: self.n_cols, indptr, indices, values }
+        Csr {
+            n_rows: rows.len(),
+            n_cols: self.n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Keeps only entries whose column passes `keep`, preserving row structure.
@@ -244,7 +271,13 @@ impl Csr {
             }
             indptr.push(indices.len());
         }
-        Csr { n_rows: self.n_rows, n_cols: self.n_cols, indptr, indices, values }
+        Csr {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Renumbers column indices through `map` (new column count `n_cols`).
@@ -277,7 +310,13 @@ impl Csr {
             row_val.copy_from_slice(&sorted_val);
             indptr.push(indices.len());
         }
-        Csr { n_rows: self.n_rows, n_cols, indptr, indices, values }
+        Csr {
+            n_rows: self.n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// The set of distinct columns with at least one nonzero, ascending —
@@ -306,8 +345,8 @@ impl Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use pargcn_util::rng::StdRng;
+    use pargcn_util::rng::{Rng, SeedableRng};
 
     fn random_csr(rng: &mut StdRng, m: usize, n: usize, density: f64) -> Csr {
         let mut coo = Vec::new();
@@ -323,7 +362,11 @@ mod tests {
 
     #[test]
     fn from_coo_sorts_and_sums_duplicates() {
-        let a = Csr::from_coo(2, 3, vec![(1, 2, 1.0), (0, 1, 2.0), (1, 2, 0.5), (0, 0, 1.0)]);
+        let a = Csr::from_coo(
+            2,
+            3,
+            vec![(1, 2, 1.0), (0, 1, 2.0), (1, 2, 0.5), (0, 0, 1.0)],
+        );
         assert_eq!(a.nnz(), 3);
         assert_eq!(a.row_indices(0), &[0, 1]);
         assert_eq!(a.row_indices(1), &[2]);
@@ -355,12 +398,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let a = random_csr(&mut rng, 6, 4, 0.35);
         assert_eq!(a, a.transpose().transpose());
-        assert!(a.transpose().to_dense().approx_eq(&a.to_dense().transpose(), 0.0));
+        assert!(a
+            .transpose()
+            .to_dense()
+            .approx_eq(&a.to_dense().transpose(), 0.0));
     }
 
     #[test]
     fn select_rows_keeps_global_columns() {
-        let a = Csr::from_coo(4, 4, vec![(0, 1, 1.0), (1, 3, 2.0), (2, 0, 3.0), (3, 2, 4.0)]);
+        let a = Csr::from_coo(
+            4,
+            4,
+            vec![(0, 1, 1.0), (1, 3, 2.0), (2, 0, 3.0), (3, 2, 4.0)],
+        );
         let sub = a.select_rows(&[1, 3]);
         assert_eq!(sub.n_rows(), 2);
         assert_eq!(sub.n_cols(), 4);

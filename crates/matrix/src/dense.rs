@@ -6,7 +6,7 @@
 //! order so the inner loop streams contiguously over rows of the right-hand
 //! operand, which vectorizes well for skinny matrices.
 
-use rand::Rng;
+use pargcn_util::rng::Rng;
 
 /// A row-major dense `f32` matrix.
 #[derive(Clone, PartialEq)]
@@ -31,7 +31,11 @@ impl std::fmt::Debug for Dense {
 impl Dense {
     /// An all-zero `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a row-major data vector.
@@ -205,14 +209,31 @@ impl Dense {
 
     /// Element-wise (Hadamard) product, as used for `G = S ⊙ σ'(Z)` (Eq. 3).
     pub fn hadamard(&self, b: &Dense) -> Dense {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&b.data).map(|(&x, &y)| x * y).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "hadamard shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(&x, &y)| x * y)
+            .collect();
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place element-wise multiply: `self ⊙= b`.
     pub fn hadamard_assign(&mut self, b: &Dense) {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "hadamard shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "hadamard shape mismatch"
+        );
         for (x, &y) in self.data.iter_mut().zip(&b.data) {
             *x *= y;
         }
@@ -220,7 +241,11 @@ impl Dense {
 
     /// `self += b`.
     pub fn add_assign(&mut self, b: &Dense) {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "add shape mismatch"
+        );
         for (x, &y) in self.data.iter_mut().zip(&b.data) {
             *x += y;
         }
@@ -228,7 +253,11 @@ impl Dense {
 
     /// `self -= eta * b`; the SGD parameter update `W ← W − η·ΔW` (Eq. 5).
     pub fn sub_scaled_assign(&mut self, b: &Dense, eta: f32) {
-        assert_eq!((self.rows, self.cols), (b.rows, b.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (b.rows, b.cols),
+            "sub shape mismatch"
+        );
         for (x, &y) in self.data.iter_mut().zip(&b.data) {
             *x -= eta * y;
         }
@@ -244,12 +273,20 @@ impl Dense {
     /// A new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Dense {
         let data = self.data.iter().map(|&v| f(v)).collect();
-        Dense { rows: self.rows, cols: self.cols, data }
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Frobenius norm, accumulated in `f64`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// True when every entry of `self` and `b` agrees within relative
@@ -257,7 +294,11 @@ impl Dense {
     pub fn approx_eq(&self, b: &Dense, rel: f32) -> bool {
         self.rows == b.rows
             && self.cols == b.cols
-            && self.data.iter().zip(&b.data).all(|(&x, &y)| crate::approx_eq(x, y, rel))
+            && self
+                .data
+                .iter()
+                .zip(&b.data)
+                .all(|(&x, &y)| crate::approx_eq(x, y, rel))
     }
 
     /// Largest absolute element difference against `b`.
@@ -295,8 +336,8 @@ impl Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
+    use pargcn_util::rng::StdRng;
 
     fn naive_matmul(a: &Dense, b: &Dense) -> Dense {
         let mut out = Dense::zeros(a.rows(), b.cols());

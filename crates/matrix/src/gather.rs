@@ -59,8 +59,8 @@ pub fn scatter_add_rows(src: &Dense, idx: &[u32], dst: &mut Dense) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
+    use pargcn_util::rng::StdRng;
 
     /// Reference implementation of `X ⊗ H` under `GxB_PLUS_SECOND`, with the
     /// selector materialized as a dense diagonal matrix: the result row `i`

@@ -30,7 +30,13 @@ pub fn normalize_adjacency(a: &Csr) -> Csr {
     }
     let inv_sqrt: Vec<f32> = deg
         .iter()
-        .map(|&d| if d > 0.0 { (1.0 / d.sqrt()) as f32 } else { 0.0 })
+        .map(|&d| {
+            if d > 0.0 {
+                (1.0 / d.sqrt()) as f32
+            } else {
+                0.0
+            }
+        })
         .collect();
 
     let scaled: Vec<(u32, u32, f32)> = tilde
@@ -54,7 +60,10 @@ mod tests {
         );
         let norm = normalize_adjacency(&a);
         for i in 0..3 {
-            assert!(norm.row_indices(i).contains(&(i as u32)), "missing self loop at {i}");
+            assert!(
+                norm.row_indices(i).contains(&(i as u32)),
+                "missing self loop at {i}"
+            );
         }
     }
 

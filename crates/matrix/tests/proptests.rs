@@ -1,48 +1,69 @@
-//! Property-based tests for the matrix kernels: the distributed algorithm's
-//! correctness rests on SpMM/DMM linearity and on gather/scatter being exact
-//! inverses, so these invariants are fuzzed over random shapes and patterns.
+//! Randomized tests for the matrix kernels: the distributed algorithm's
+//! correctness rests on SpMM/DMM linearity and on gather/scatter being
+//! exact inverses, so these invariants are fuzzed over random shapes and
+//! patterns via the seeded `pargcn_util::qc` runner (failures print the
+//! case seed; replay with `PARGCN_QC_SEED=<seed>`).
 
 use pargcn_matrix::{gather, Csr, Dense};
-use proptest::prelude::*;
+use pargcn_util::qc;
+use pargcn_util::rng::{Rng, StdRng};
 
-/// Strategy producing a dense matrix of exactly `r × c`.
-fn dense(r: usize, c: usize) -> impl Strategy<Value = Dense> {
-    proptest::collection::vec(-10.0f32..10.0, r * c)
-        .prop_map(move |data| Dense::from_vec(r, c, data))
+/// Dense matrix of exactly `r × c` with entries in `[-10, 10)`.
+fn dense(rng: &mut StdRng, r: usize, c: usize) -> Dense {
+    Dense::from_fn(r, c, |_, _| rng.gen_range(-10.0..10.0f32))
 }
 
-/// Strategy producing a random sparse matrix of shape `r × c`.
-fn csr(r: usize, c: usize) -> impl Strategy<Value = Csr> {
-    proptest::collection::vec(((0..r as u32), (0..c as u32), -4.0f32..4.0), 0..(r * c).max(1))
-        .prop_map(move |coo| Csr::from_coo(r, c, coo))
+/// Random sparse matrix of shape `r × c` built from up to `r·c` COO
+/// triplets (duplicates merge, like the proptest strategy it replaces).
+fn csr(rng: &mut StdRng, r: usize, c: usize) -> Csr {
+    let nnz = rng.gen_range(0..(r * c).max(1));
+    let coo: Vec<(u32, u32, f32)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.gen_range(0..r as u32),
+                rng.gen_range(0..c as u32),
+                rng.gen_range(-4.0..4.0),
+            )
+        })
+        .collect();
+    Csr::from_coo(r, c, coo)
 }
 
-proptest! {
-    #[test]
-    fn spmm_matches_densified_multiply(a in csr(8, 6), h in dense(6, 5)) {
-        
+#[test]
+fn spmm_matches_densified_multiply() {
+    qc::check(|rng| {
+        let a = csr(rng, 8, 6);
+        let h = dense(rng, 6, 5);
         let sparse = a.spmm(&h);
         let densified = a.to_dense().matmul(&h);
-        prop_assert!(sparse.approx_eq(&densified, 1e-4));
-    }
+        assert!(sparse.approx_eq(&densified, 1e-4));
+    });
+}
 
-    #[test]
-    fn spmm_is_linear_in_h(a in csr(6, 6), h1 in dense(6, 4), h2 in dense(6, 4)) {
-        
+#[test]
+fn spmm_is_linear_in_h() {
+    qc::check(|rng| {
+        let a = csr(rng, 6, 6);
+        let h1 = dense(rng, 6, 4);
+        let h2 = dense(rng, 6, 4);
         let mut sum = h1.clone();
         sum.add_assign(&h2);
         let lhs = a.spmm(&sum);
         let mut rhs = a.spmm(&h1);
         rhs.add_assign(&a.spmm(&h2));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-3));
+    });
+}
 
-    /// Row-splitting SpMM and summing the per-block partial products over
-    /// matching column blocks reproduces the full product — the algebraic
-    /// fact behind Eq. 7 of the paper.
-    #[test]
-    fn spmm_row_split_recomposes(a in csr(8, 8), h in dense(8, 3), split in 1usize..7) {
-        
+/// Row-splitting SpMM and summing the per-block partial products over
+/// matching column blocks reproduces the full product — the algebraic
+/// fact behind Eq. 7 of the paper.
+#[test]
+fn spmm_row_split_recomposes() {
+    qc::check(|rng| {
+        let a = csr(rng, 8, 8);
+        let h = dense(rng, 8, 3);
+        let split = rng.gen_range(1usize..7);
         let full = a.spmm(&h);
         let top: Vec<u32> = (0..split as u32).collect();
         let bot: Vec<u32> = (split as u32..8).collect();
@@ -51,51 +72,73 @@ proptest! {
         let z_top = a_top.spmm(&h);
         let z_bot = a_bot.spmm(&h);
         for (k, &i) in top.iter().enumerate() {
-            prop_assert_eq!(z_top.row(k), full.row(i as usize));
+            assert_eq!(z_top.row(k), full.row(i as usize));
         }
         for (k, &i) in bot.iter().enumerate() {
-            prop_assert_eq!(z_bot.row(k), full.row(i as usize));
+            assert_eq!(z_bot.row(k), full.row(i as usize));
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_preserves_values(a in csr(7, 5)) {
+#[test]
+fn transpose_preserves_values() {
+    qc::check(|rng| {
+        let a = csr(rng, 7, 5);
         let t = a.transpose();
-        prop_assert_eq!(a.nnz(), t.nnz());
+        assert_eq!(a.nnz(), t.nnz());
         let ad = a.to_dense();
         let td = t.to_dense();
         for i in 0..7 {
             for j in 0..5 {
-                prop_assert_eq!(ad.get(i, j), td.get(j, i));
+                assert_eq!(ad.get(i, j), td.get(j, i));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn gather_then_scatter_is_identity_on_selected(h in dense(10, 4), raw_idx in proptest::collection::btree_set(0u32..10, 1..10)) {
-        
+#[test]
+fn gather_then_scatter_is_identity_on_selected() {
+    qc::check(|rng| {
+        let h = dense(rng, 10, 4);
+        let count = rng.gen_range(1..10usize);
+        let raw_idx: std::collections::BTreeSet<u32> =
+            (0..count).map(|_| rng.gen_range(0..10u32)).collect();
         let idx: Vec<u32> = raw_idx.into_iter().collect();
         let g = gather::gather_rows(&h, &idx);
         let mut dst = Dense::zeros(10, h.cols());
         gather::scatter_rows(&g, &idx, &mut dst);
         for &i in &idx {
-            prop_assert_eq!(dst.row(i as usize), h.row(i as usize));
+            assert_eq!(dst.row(i as usize), h.row(i as usize));
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_associativity_with_tolerance(a in dense(4, 4), b in dense(4, 4), c in dense(4, 4)) {
-        
+#[test]
+fn matmul_associativity_with_tolerance() {
+    qc::check(|rng| {
+        let a = dense(rng, 4, 4);
+        let b = dense(rng, 4, 4);
+        let c = dense(rng, 4, 4);
         let lhs = a.matmul(&b).matmul(&c);
         let rhs = a.matmul(&b.matmul(&c));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
-    }
+        assert!(lhs.approx_eq(&rhs, 1e-2));
+    });
+}
 
-    #[test]
-    fn from_coo_iter_roundtrip(r in 1usize..8, c in 1usize..8) {
-        let coo: Vec<(u32, u32, f32)> = (0..r).flat_map(|i| (0..c).filter(move |j| (i + j) % 3 == 0).map(move |j| (i as u32, j as u32, (i * c + j) as f32))).collect();
+#[test]
+fn from_coo_iter_roundtrip() {
+    qc::check(|rng| {
+        let r = rng.gen_range(1usize..8);
+        let c = rng.gen_range(1usize..8);
+        let coo: Vec<(u32, u32, f32)> = (0..r)
+            .flat_map(|i| {
+                (0..c)
+                    .filter(move |j| (i + j) % 3 == 0)
+                    .map(move |j| (i as u32, j as u32, (i * c + j) as f32))
+            })
+            .collect();
         let m = Csr::from_coo(r, c, coo.clone());
         let back: Vec<(u32, u32, f32)> = m.iter().collect();
-        prop_assert_eq!(coo, back);
-    }
+        assert_eq!(coo, back);
+    });
 }

@@ -7,8 +7,8 @@
 //! invariant multilevel partitioning rests on.
 
 use crate::graph_model::WeightedGraph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use pargcn_util::rng::SliceRandom;
+use pargcn_util::rng::StdRng;
 
 /// One level of heavy-edge matching. Returns the coarse graph and the
 /// fine-vertex → coarse-vertex map.
@@ -25,11 +25,13 @@ pub fn coarsen_once(g: &WeightedGraph, rng: &mut StdRng) -> (WeightedGraph, Vec<
         }
         // Heaviest unmatched neighbor.
         let mut best: Option<(u64, u32)> = None;
-        for (&u, &w) in g.neighbors(v as usize).iter().zip(g.edge_weights_of(v as usize)) {
-            if u != v && matched[u as usize] == u32::MAX {
-                if best.map_or(true, |(bw, _)| w > bw) {
-                    best = Some((w, u));
-                }
+        for (&u, &w) in g
+            .neighbors(v as usize)
+            .iter()
+            .zip(g.edge_weights_of(v as usize))
+        {
+            if u != v && matched[u as usize] == u32::MAX && best.is_none_or(|(bw, _)| w > bw) {
+                best = Some((w, u));
             }
         }
         let c = coarse_count;
@@ -77,14 +79,17 @@ pub fn coarsen_once(g: &WeightedGraph, rng: &mut StdRng) -> (WeightedGraph, Vec<
     for i in 0..nc {
         adj_ptr[i + 1] += adj_ptr[i];
     }
-    (WeightedGraph::new(vertex_weights, adj_ptr, adj, edge_weights), matched)
+    (
+        WeightedGraph::new(vertex_weights, adj_ptr, adj, edge_weights),
+        matched,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Partition;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
 
     fn path_graph(n: usize) -> WeightedGraph {
         let mut adj_ptr = vec![0usize];
@@ -109,7 +114,11 @@ mod tests {
         let g = path_graph(100);
         let mut rng = StdRng::seed_from_u64(0);
         let (coarse, map) = coarsen_once(&g, &mut rng);
-        assert!(coarse.n() < 70, "matching too weak: {} vertices left", coarse.n());
+        assert!(
+            coarse.n() < 70,
+            "matching too weak: {} vertices left",
+            coarse.n()
+        );
         assert_eq!(
             coarse.vertex_weights().iter().sum::<u64>(),
             g.vertex_weights().iter().sum::<u64>()
@@ -124,10 +133,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (coarse, map) = coarsen_once(&g, &mut rng);
         // Any coarse partition projects to a fine partition of equal cut.
-        let coarse_part =
-            Partition::new((0..coarse.n()).map(|v| (v % 2) as u32).collect(), 2);
+        let coarse_part = Partition::new((0..coarse.n()).map(|v| (v % 2) as u32).collect(), 2);
         let fine_part = Partition::new(
-            (0..g.n()).map(|v| coarse_part.part_of(map[v] as usize)).collect(),
+            (0..g.n())
+                .map(|v| coarse_part.part_of(map[v] as usize))
+                .collect(),
             2,
         );
         assert_eq!(coarse.edge_cut(&coarse_part), g.edge_cut(&fine_part));
@@ -151,8 +161,8 @@ mod tests {
         let mut adj = Vec::new();
         let mut ew = Vec::new();
         let nbrs = [[1u32, 3], [0, 2], [1, 3], [2, 0]];
-        for v in 0..4 {
-            for &u in &nbrs[v] {
+        for vn in &nbrs {
+            for &u in vn {
                 adj.push(u);
                 ew.push(1);
             }

@@ -20,13 +20,7 @@ const MAX_STALE_CORRECTIONS: u8 = 6;
 /// Refines the side labels in place. `frac0` is the target side-0 weight
 /// fraction, `epsilon` the allowed imbalance over the target, `max_passes`
 /// bounds the number of full FM passes.
-pub fn refine(
-    g: &WeightedGraph,
-    side: &mut [u8],
-    frac0: f64,
-    epsilon: f64,
-    max_passes: usize,
-) {
+pub fn refine(g: &WeightedGraph, side: &mut [u8], frac0: f64, epsilon: f64, max_passes: usize) {
     let n = g.n();
     if n < 2 {
         return;
@@ -171,8 +165,11 @@ mod tests {
         // Keep adjacency sorted per row for readability (not required).
         for v in 0..n {
             let range = adj_ptr[v]..adj_ptr[v + 1];
-            let mut pairs: Vec<(u32, u64)> =
-                adj[range.clone()].iter().copied().zip(ew[range.clone()].iter().copied()).collect();
+            let mut pairs: Vec<(u32, u64)> = adj[range.clone()]
+                .iter()
+                .copied()
+                .zip(ew[range.clone()].iter().copied())
+                .collect();
             pairs.sort_unstable();
             for (k, (u, w)) in pairs.into_iter().enumerate() {
                 sorted_adj[adj_ptr[v] + k] = u;
@@ -198,7 +195,7 @@ mod tests {
         let mut side: Vec<u8> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
         refine(&g, &mut side, 0.5, 0.05, 10);
         let w0 = side.iter().filter(|&&s| s == 0).count();
-        assert!(w0 >= 4 && w0 <= 6, "balance violated: {w0}");
+        assert!((4..=6).contains(&w0), "balance violated: {w0}");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! speed.
 
 use crate::graph_model::WeightedGraph;
-use rand::rngs::StdRng;
-use rand::Rng;
+use pargcn_util::rng::Rng;
+use pargcn_util::rng::StdRng;
 use std::collections::BinaryHeap;
 
 /// Number of random seeds tried per bisection.
@@ -31,7 +31,7 @@ pub fn greedy_bisect(g: &WeightedGraph, frac0: f64, rng: &mut StdRng) -> Vec<u8>
             side.iter().map(|&s| s as u32).collect(),
             2,
         ));
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, side));
         }
     }
@@ -86,7 +86,7 @@ fn grow_from(g: &WeightedGraph, seed: usize, target0: u64) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
 
     fn path_graph(n: usize) -> WeightedGraph {
         let mut adj_ptr = vec![0usize];
@@ -124,7 +124,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let side = greedy_bisect(&g, 0.25, &mut rng);
         let w0: usize = side.iter().filter(|&&s| s == 0).count();
-        assert!(w0 >= 20 && w0 <= 32, "side-0 size {w0}");
+        assert!((20..=32).contains(&w0), "side-0 size {w0}");
     }
 
     #[test]

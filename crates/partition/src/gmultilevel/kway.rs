@@ -59,7 +59,7 @@ pub fn refine(g: &WeightedGraph, part: &mut Partition, epsilon: f64, passes: usi
                     continue;
                 }
                 let gain = conn[q as usize] - internal;
-                if gain > 0 && best.map_or(true, |(bg, _)| gain > bg) {
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, q));
                 }
             }

@@ -33,7 +33,12 @@ impl WeightedGraph {
     ) -> Self {
         assert_eq!(adj_ptr.len(), vertex_weights.len() + 1);
         assert_eq!(adj.len(), edge_weights.len());
-        Self { vertex_weights, adj_ptr, adj, edge_weights }
+        Self {
+            vertex_weights,
+            adj_ptr,
+            adj,
+            edge_weights,
+        }
     }
 
     /// The §4.3.1 model of a square sparse matrix: symmetrize the
@@ -113,7 +118,13 @@ mod tests {
         Csr::from_coo(
             3,
             3,
-            vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 1, 0.5), (1, 2, 0.5)],
+            vec![
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+                (0, 1, 0.5),
+                (1, 2, 0.5),
+            ],
         )
     }
 

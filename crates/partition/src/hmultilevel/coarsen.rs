@@ -8,8 +8,8 @@
 //! works on an equivalent but much smaller problem.
 
 use crate::hypergraph::Hypergraph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use pargcn_util::rng::SliceRandom;
+use pargcn_util::rng::StdRng;
 use std::collections::HashMap;
 
 /// Nets with more pins than this are ignored during matching (scanning a
@@ -136,7 +136,7 @@ pub fn coarsen_once(h: &Hypergraph, rng: &mut StdRng) -> (Hypergraph, Vec<u32>) 
 mod tests {
     use super::*;
     use crate::Partition;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
 
     /// Chain hypergraph: net i connects {i, i+1}.
     fn chain(n: usize) -> Hypergraph {
@@ -199,12 +199,17 @@ mod tests {
             2,
         );
         let fine_part = Partition::new(
-            (0..h.n_vertices()).map(|v| coarse_part.part_of(map[v] as usize)).collect(),
+            (0..h.n_vertices())
+                .map(|v| coarse_part.part_of(map[v] as usize))
+                .collect(),
             2,
         );
         // Coarse cut equals fine cut restricted to surviving nets; vanished
         // nets were internal (uncut) so the totals agree.
-        assert_eq!(coarse.connectivity_cut(&coarse_part), h.connectivity_cut(&fine_part));
+        assert_eq!(
+            coarse.connectivity_cut(&coarse_part),
+            h.connectivity_cut(&fine_part)
+        );
     }
 
     #[test]

@@ -29,13 +29,7 @@ const MAX_STALE_CORRECTIONS: u8 = 6;
 const UPDATE_VERTEX_CAP: usize = 96;
 
 /// Refines side labels in place. Same contract as the graph FM.
-pub fn refine(
-    h: &Hypergraph,
-    side: &mut [u8],
-    frac0: f64,
-    epsilon: f64,
-    max_passes: usize,
-) {
+pub fn refine(h: &Hypergraph, side: &mut [u8], frac0: f64, epsilon: f64, max_passes: usize) {
     let n = h.n_vertices();
     if n < 2 {
         return;
@@ -50,9 +44,9 @@ pub fn refine(
     }
     // counts[net][s] = pins of `net` currently on side s.
     let mut counts = vec![[0u32; 2]; h.n_nets()];
-    for net in 0..h.n_nets() {
+    for (net, count) in counts.iter_mut().enumerate() {
         for &pin in h.pins(net) {
-            counts[net][side[pin as usize] as usize] += 1;
+            count[side[pin as usize] as usize] += 1;
         }
     }
 
@@ -215,9 +209,9 @@ mod tests {
         let h = Hypergraph::new(vec![1; 3], vec![vec![0, 1], vec![0, 2]], vec![1, 4]);
         let side = vec![0u8, 0, 1];
         let mut counts = vec![[0u32; 2]; 2];
-        for net in 0..2 {
+        for (net, count) in counts.iter_mut().enumerate() {
             for &p in h.pins(net) {
-                counts[net][side[p as usize] as usize] += 1;
+                count[side[p as usize] as usize] += 1;
             }
         }
         // Moving v0 to side 1: net0 {0,1} becomes cut (−1); net1 {0,2}
@@ -242,7 +236,7 @@ mod tests {
         let mut side: Vec<u8> = (0..10).map(|v| if v < 5 { 0 } else { 1 }).collect();
         refine(&h, &mut side, 0.5, 0.05, 10);
         let w0 = side.iter().filter(|&&s| s == 0).count();
-        assert!(w0 >= 4 && w0 <= 6);
+        assert!((4..=6).contains(&w0));
     }
 
     #[test]

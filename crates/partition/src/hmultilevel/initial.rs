@@ -7,8 +7,8 @@
 
 use crate::hypergraph::Hypergraph;
 use crate::Partition;
-use rand::rngs::StdRng;
-use rand::Rng;
+use pargcn_util::rng::Rng;
+use pargcn_util::rng::StdRng;
 use std::collections::BinaryHeap;
 
 const TRIES: usize = 4;
@@ -27,7 +27,7 @@ pub fn greedy_bisect(h: &Hypergraph, frac0: f64, rng: &mut StdRng) -> Vec<u8> {
         let side = grow_from(h, rng.gen_range(0..n), target0);
         let part = Partition::new(side.iter().map(|&s| s as u32).collect(), 2);
         let cut = h.connectivity_cut(&part);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, side));
         }
     }
@@ -87,7 +87,7 @@ fn grow_from(h: &Hypergraph, seed: usize, target0: u64) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use pargcn_util::rng::SeedableRng;
 
     fn chain(n: usize) -> Hypergraph {
         let nets: Vec<Vec<u32>> = (0..n as u32 - 1).map(|i| vec![i, i + 1]).collect();
@@ -101,7 +101,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let side = greedy_bisect(&h, 0.5, &mut rng);
         let part = Partition::new(side.iter().map(|&s| s as u32).collect(), 2);
-        assert!(h.connectivity_cut(&part) <= 2, "cut {}", h.connectivity_cut(&part));
+        assert!(
+            h.connectivity_cut(&part) <= 2,
+            "cut {}",
+            h.connectivity_cut(&part)
+        );
     }
 
     #[test]
@@ -110,7 +114,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let side = greedy_bisect(&h, 0.3, &mut rng);
         let w0 = side.iter().filter(|&&s| s == 0).count();
-        assert!(w0 >= 25 && w0 <= 38, "side-0 size {w0}");
+        assert!((25..=38).contains(&w0), "side-0 size {w0}");
     }
 
     #[test]

@@ -137,7 +137,7 @@ pub fn refine(h: &Hypergraph, part: &mut Partition, epsilon: f64, passes: usize)
                         gain -= h.net_cost(net as usize) as i64;
                     }
                 }
-                if gain > 0 && best.map_or(true, |(bg, _)| gain > bg) {
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, to));
                 }
             }
@@ -178,7 +178,11 @@ mod tests {
         let before = h.connectivity_cut(&part);
         let gain = refine(&h, &mut part, 0.10, 3);
         let after = h.connectivity_cut(&part);
-        assert_eq!(before - after, gain, "reported gain must equal actual cut reduction");
+        assert_eq!(
+            before - after,
+            gain,
+            "reported gain must equal actual cut reduction"
+        );
         assert!(after <= before);
         assert!(gain > 0, "random partitions leave plenty of k-way gains");
     }

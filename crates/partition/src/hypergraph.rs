@@ -44,7 +44,14 @@ impl Hypergraph {
             net_ptr.push(net_pins.len());
         }
         let (vtx_ptr, vtx_nets) = invert(n, &net_ptr, &net_pins);
-        Self { vertex_weights, net_costs, net_ptr, net_pins, vtx_ptr, vtx_nets }
+        Self {
+            vertex_weights,
+            net_costs,
+            net_ptr,
+            net_pins,
+            vtx_ptr,
+            vtx_nets,
+        }
     }
 
     /// The paper's column-net model of a square sparse matrix: vertex `i`
@@ -64,12 +71,15 @@ impl Hypergraph {
     /// row-count constraint into the single weight — the cheap scalarized
     /// form of multi-constraint partitioning.
     pub fn column_net_model_weighted(a: &Csr, dmm_row_cost: f64) -> Self {
-        assert_eq!(a.n_rows(), a.n_cols(), "column-net model needs a square matrix");
+        assert_eq!(
+            a.n_rows(),
+            a.n_cols(),
+            "column-net model needs a square matrix"
+        );
         assert!(dmm_row_cost >= 0.0, "dmm_row_cost must be nonnegative");
         let n = a.n_rows();
         let extra = dmm_row_cost.round() as u64;
-        let vertex_weights: Vec<u64> =
-            (0..n).map(|i| a.row_nnz(i) as u64 + extra).collect();
+        let vertex_weights: Vec<u64> = (0..n).map(|i| a.row_nnz(i) as u64 + extra).collect();
         // Transposing gives column → row lists, i.e. the pin lists.
         let at = a.transpose();
         let mut net_ptr = Vec::with_capacity(n + 1);
@@ -128,7 +138,11 @@ impl Hypergraph {
 
     /// Connectivity `λ(nⱼ)`: number of parts net `j` touches under `part`.
     pub fn connectivity(&self, net: usize, part: &Partition) -> usize {
-        let mut parts: Vec<u32> = self.pins(net).iter().map(|&v| part.part_of(v as usize)).collect();
+        let mut parts: Vec<u32> = self
+            .pins(net)
+            .iter()
+            .map(|&v| part.part_of(v as usize))
+            .collect();
         parts.sort_unstable();
         parts.dedup();
         parts.len()
@@ -254,7 +268,11 @@ mod tests {
 
     #[test]
     fn connectivity_cut_counts_lambda_minus_one() {
-        let h = Hypergraph::new(vec![1; 4], vec![vec![0, 1], vec![2, 3], vec![0, 3]], vec![1, 1, 5]);
+        let h = Hypergraph::new(
+            vec![1; 4],
+            vec![vec![0, 1], vec![2, 3], vec![0, 3]],
+            vec![1, 1, 5],
+        );
         let part = Partition::new(vec![0, 0, 1, 1], 2);
         // Net 0 internal, net 1 internal, net 2 spans both parts: cut 5.
         assert_eq!(h.connectivity_cut(&part), 5);

@@ -60,7 +60,10 @@ pub enum Method {
     Hp,
     /// Stochastic hypergraph partitioning (§4.3.3) with the given sampler
     /// and number of sampled batches.
-    Shp { sampler: stochastic::Sampler, batches: usize },
+    Shp {
+        sampler: stochastic::Sampler,
+        batches: usize,
+    },
     /// Block partitioning: RCM ordering + contiguous weight-balanced blocks
     /// (the cheap renumber-and-chunk alternative; see [`rcm`]).
     Bp,

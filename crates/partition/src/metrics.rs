@@ -70,11 +70,19 @@ pub fn spmm_comm_stats(a: &Csr, part: &Partition) -> CommStats {
     }
     let mut sent_messages = vec![0u64; p];
     for m in 0..p {
-        sent_messages[m] = pair_flags[m * p..(m + 1) * p].iter().filter(|&&f| f).count() as u64;
+        sent_messages[m] = pair_flags[m * p..(m + 1) * p]
+            .iter()
+            .filter(|&&f| f)
+            .count() as u64;
     }
     let total_rows = sent_rows.iter().sum();
     let total_messages = sent_messages.iter().sum();
-    CommStats { sent_rows, sent_messages, total_rows, total_messages }
+    CommStats {
+        sent_rows,
+        sent_messages,
+        total_rows,
+        total_messages,
+    }
 }
 
 /// Per-processor computational load: nonzeros of the locally-owned rows
@@ -136,7 +144,10 @@ mod tests {
         let a = sample_matrix();
         let part = Partition::new(vec![0, 1, 2, 0], 3);
         let h = Hypergraph::column_net_model(&a);
-        assert_eq!(spmm_comm_stats(&a, &part).total_rows, h.connectivity_cut(&part));
+        assert_eq!(
+            spmm_comm_stats(&a, &part).total_rows,
+            h.connectivity_cut(&part)
+        );
     }
 
     #[test]

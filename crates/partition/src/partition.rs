@@ -24,7 +24,10 @@ impl Partition {
 
     /// The trivial 1-way partition (serial execution).
     pub fn trivial(n: usize) -> Self {
-        Self { assignment: vec![0; n], p: 1 }
+        Self {
+            assignment: vec![0; n],
+            p: 1,
+        }
     }
 
     #[inline]

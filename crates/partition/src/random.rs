@@ -4,9 +4,9 @@
 //! communications" (§5).
 
 use crate::Partition;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::SliceRandom;
+use pargcn_util::rng::StdRng;
 
 /// Assigns vertices to `p` parts by shuffling and dealing equally sized
 /// chunks, so part *cardinalities* differ by at most one (the paper's RP

@@ -15,9 +15,9 @@ use crate::hypergraph::Hypergraph;
 use crate::Partition;
 use pargcn_graph::Graph;
 use pargcn_matrix::norm;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::SliceRandom;
+use pargcn_util::rng::StdRng;
 
 /// Mini-batch sampling strategies supported by the stochastic model. The
 /// model itself is sampler-agnostic ("can be utilized for any mini-batch
@@ -34,12 +34,7 @@ pub enum Sampler {
 }
 
 /// Samples `count` mini-batches as vertex lists.
-pub fn sample_batches(
-    graph: &Graph,
-    sampler: Sampler,
-    count: usize,
-    seed: u64,
-) -> Vec<Vec<u32>> {
+pub fn sample_batches(graph: &Graph, sampler: Sampler, count: usize, seed: u64) -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = graph.n();
     let mut all: Vec<u32> = (0..n as u32).collect();
@@ -150,8 +145,15 @@ mod tests {
     #[test]
     fn neighbor_expansion_contains_seeds_and_neighbors() {
         let g = community::copurchase(300, 6.0, false, 3);
-        let batches =
-            sample_batches(&g, Sampler::NeighborExpansion { seeds: 10, batch_size: 60 }, 2, 4);
+        let batches = sample_batches(
+            &g,
+            Sampler::NeighborExpansion {
+                seeds: 10,
+                batch_size: 60,
+            },
+            2,
+            4,
+        );
         for b in &batches {
             assert!(b.len() >= 10 && b.len() <= 60);
         }

@@ -44,7 +44,11 @@ fn gp_finds_the_bottleneck_cut() {
     let g = pargcn_graph::Graph::from_edges(24, false, &edges);
     let model = WeightedGraph::graph_model(&g.normalized_adjacency());
     let part = gmultilevel::partition(&model, 2, 0.1, 1);
-    assert_eq!(model.edge_cut(&part), 1, "the single bridge edge is the optimum");
+    assert_eq!(
+        model.edge_cut(&part),
+        1,
+        "the single bridge edge is the optimum"
+    );
 }
 
 /// Family-specific quality bars relative to random partitioning at p=16
@@ -53,7 +57,11 @@ fn gp_finds_the_bottleneck_cut() {
 fn quality_bars_by_family() {
     let cases: Vec<(&str, pargcn_graph::Graph, f64)> = vec![
         ("road", grid::road_network(3000, 1), 0.25),
-        ("copurchase", community::copurchase(3000, 6.0, false, 1), 0.55),
+        (
+            "copurchase",
+            community::copurchase(3000, 6.0, false, 1),
+            0.55,
+        ),
         ("coauthor", community::coauthor(1200, 24.0, 1), 0.75),
     ];
     for (name, g, bar) in cases {
@@ -102,7 +110,11 @@ fn pipeline_components_contribute() {
         8,
         0.05,
         1,
-        hmultilevel::Options { fm_passes_coarsest: 0, fm_passes_uncoarsen: 0, ..Default::default() },
+        hmultilevel::Options {
+            fm_passes_coarsest: 0,
+            fm_passes_uncoarsen: 0,
+            ..Default::default()
+        },
     );
     let cut_full = h.connectivity_cut(&full);
     let cut_no_fm = h.connectivity_cut(&no_fm);
@@ -129,7 +141,10 @@ fn skewed_graph_partitioning_terminates_with_quality() {
     let rp = random::partition(g.n(), 32, 3);
     let v_hp = metrics::spmm_comm_stats(&a, &hp).total_rows;
     let v_rp = metrics::spmm_comm_stats(&a, &rp).total_rows;
-    assert!(v_hp <= v_rp, "HP must not lose to RP even on RMAT: {v_hp} vs {v_rp}");
+    assert!(
+        v_hp <= v_rp,
+        "HP must not lose to RP even on RMAT: {v_hp} vs {v_rp}"
+    );
 }
 
 /// Balance holds across a spread of part counts on a weighted instance.

@@ -13,8 +13,8 @@ use pargcn_core::{CommPlan, GcnConfig};
 use pargcn_graph::Dataset;
 use pargcn_matrix::Dense;
 use pargcn_partition::{partition_rows, Method, DEFAULT_EPSILON};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 fn main() {
     let p = 8;
@@ -34,7 +34,10 @@ fn main() {
     // Partition with the hypergraph model and inspect the plan (Eqs. 8–9).
     let part = partition_rows(&data.graph, &a, Method::Hp, p, DEFAULT_EPSILON, 5);
     let plan = CommPlan::build(&a, &part);
-    println!("{:<6} {:>8} {:>12} {:>10} {:>10}", "rank", "rows", "local nnz", "sends", "recvs");
+    println!(
+        "{:<6} {:>8} {:>12} {:>10} {:>10}",
+        "rank", "rows", "local nnz", "sends", "recvs"
+    );
     for rp in &plan.ranks {
         println!(
             "{:<6} {:>8} {:>12} {:>10} {:>10}",
@@ -58,8 +61,17 @@ fn main() {
     let mask = vec![true; data.graph.n()];
 
     let out = train_full_batch(&data.graph, &h0, &labels, &mask, &part, &config, epochs, 3);
-    println!("losses: {:?}", out.losses.iter().map(|l| (l * 1e3).round() / 1e3).collect::<Vec<_>>());
-    println!("parallel wall time (slowest rank): {:.3}s", out.wall_seconds());
+    println!(
+        "losses: {:?}",
+        out.losses
+            .iter()
+            .map(|l| (l * 1e3).round() / 1e3)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "parallel wall time (slowest rank): {:.3}s",
+        out.wall_seconds()
+    );
 
     // The runtime counters must equal the plan's static prediction:
     // per epoch each layer sweeps once forward (d_in-wide) + once backward.

@@ -60,8 +60,10 @@ fn main() {
     assert_eq!(p2p, expected, "SGC traffic must be exactly 2 plan sweeps");
 
     // --- GAT: 2 attention layers, forward pass. -------------------------
-    let layers =
-        vec![GatLayer::init(features.cols(), 16, 1), GatLayer::init(16, 7, 2)];
+    let layers = vec![
+        GatLayer::init(features.cols(), 16, 1),
+        GatLayer::init(16, 7, 2),
+    ];
     let serial = gat::forward_serial_multi(&data.graph, &features, &layers);
     let (dist, counters) = gat::forward_distributed(&data.graph, &features, &layers, &part);
     let gat_bytes: u64 = counters.iter().map(|c| c.sent_bytes).sum();

@@ -13,8 +13,8 @@ use pargcn_graph::Dataset;
 use pargcn_matrix::Dense;
 use pargcn_partition::stochastic::{hoeffding_min_nets, sample_batches, Sampler};
 use pargcn_partition::{partition_rows, Method, DEFAULT_EPSILON};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 fn main() {
     let p = 8;
@@ -42,7 +42,10 @@ fn main() {
     let shp = partition_rows(
         &data.graph,
         &a,
-        Method::Shp { sampler, batches: 500 },
+        Method::Shp {
+            sampler,
+            batches: 500,
+        },
         p,
         DEFAULT_EPSILON,
         2,

@@ -36,7 +36,9 @@ fn main() {
         Method::Gp,
         Method::Hp,
         Method::Shp {
-            sampler: Sampler::UniformVertex { batch_size: data.graph.n() / 16 },
+            sampler: Sampler::UniformVertex {
+                batch_size: data.graph.n() / 16,
+            },
             batches: 8,
         },
     ] {

@@ -68,6 +68,9 @@ fn main() {
         sent as f64 / (1 << 20) as f64,
         out.counters.iter().map(|c| c.sent_messages).sum::<u64>()
     );
-    assert!((serial_acc - dist_acc).abs() < 0.02, "parallel training must not change accuracy");
+    assert!(
+        (serial_acc - dist_acc).abs() < 0.02,
+        "parallel training must not change accuracy"
+    );
     println!("OK: distributed training matches serial training.");
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml: the same four checks, in the
+# same modes, so "scripts/ci.sh passes" means "CI will pass". Exits
+# non-zero on the first failure.
+#
+# The workspace is dependency-free by design (see crates/util), so every
+# step runs with --offline: no registry, no network, no surprises.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline --locked
+run cargo test -q --offline --locked
+run cargo fmt --check
+run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+
+echo "==> all checks passed"

@@ -9,8 +9,8 @@ use pargcn_core::GcnConfig;
 use pargcn_graph::{Dataset, Scale};
 use pargcn_matrix::Dense;
 use pargcn_partition::{partition_rows, Method, DEFAULT_EPSILON};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pargcn_util::rng::SeedableRng;
+use pargcn_util::rng::StdRng;
 
 /// Every Table 2 dataset family survives the full pipeline at tiny scale.
 #[test]
@@ -47,10 +47,21 @@ fn cora_end_to_end_learns() {
 
     let a = data.graph.normalized_adjacency();
     let part = partition_rows(&data.graph, &a, Method::Hp, 6, DEFAULT_EPSILON, 2);
-    let out =
-        train_full_batch(&data.graph, &features, &labels, &train_mask, &part, &config, 40, 5);
+    let out = train_full_batch(
+        &data.graph,
+        &features,
+        &labels,
+        &train_mask,
+        &part,
+        &config,
+        40,
+        5,
+    );
     let acc = accuracy(&out.predictions, &labels, &test_mask);
-    assert!(acc > 0.55, "distributed GCN should learn the planted partition, got {acc}");
+    assert!(
+        acc > 0.55,
+        "distributed GCN should learn the planted partition, got {acc}"
+    );
 
     // And the serial oracle agrees.
     let mut serial = SerialTrainer::new(&data.graph, config, 5);
@@ -58,7 +69,10 @@ fn cora_end_to_end_learns() {
         serial.train_epoch(&features, &labels, &train_mask);
     }
     let serial_acc = accuracy(&serial.predict(&features), &labels, &test_mask);
-    assert!((acc - serial_acc).abs() < 0.03, "dist {acc} vs serial {serial_acc}");
+    assert!(
+        (acc - serial_acc).abs() < 0.03,
+        "dist {acc} vs serial {serial_acc}"
+    );
 }
 
 /// Losses must decrease under every partitioning method (training works no

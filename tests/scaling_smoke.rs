@@ -33,7 +33,10 @@ fn hp_strong_scaling_on_cpu() {
         let part = partition_rows(&data.graph, &a, Method::Hp, p, DEFAULT_EPSILON, 1);
         let plan = CommPlan::build(&a, &part);
         let t = simulate_epoch(&plan, &plan, &config, &profile).total;
-        assert!(t < last, "epoch time should fall with p: {t} !< {last} at p={p}");
+        assert!(
+            t < last,
+            "epoch time should fall with p: {t} !< {last} at p={p}"
+        );
         last = t;
     }
 }
@@ -104,7 +107,10 @@ fn shp_at_least_matches_hp_on_minibatch_volume() {
     let shp = partition_rows(
         &data.graph,
         &a,
-        Method::Shp { sampler, batches: 200 },
+        Method::Shp {
+            sampler,
+            batches: 200,
+        },
         8,
         DEFAULT_EPSILON,
         3,
