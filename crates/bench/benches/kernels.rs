@@ -1,12 +1,20 @@
 //! Criterion microbenchmarks for the matrix kernels driving GCN training:
 //! SpMM (the convolution), DMM (parameter application), the `Xₘₙ ⊗ H` row
-//! gather (message assembly), and adjacency normalization.
+//! gather (message assembly), adjacency normalization, and the pooled
+//! (multithreaded) kernel variants at 1/2/4 threads plus the bare pool
+//! dispatch overhead.
 
 use pargcn_graph::gen::{grid, rmat};
 use pargcn_matrix::{gather, norm, Dense};
 use pargcn_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pargcn_util::pool::Pool;
 use pargcn_util::rng::SeedableRng;
 use pargcn_util::rng::StdRng;
+
+/// Thread counts exercised by the `_pool` kernel benchmarks. The `t = 1`
+/// rows measure the pooled entry points' serial fallback, so the gap to
+/// the plain kernels is the dispatch overhead, not the algorithm.
+const THREADS: [usize; 3] = [1, 2, 4];
 
 fn bench_spmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmm");
@@ -63,11 +71,80 @@ fn bench_normalize(c: &mut Criterion) {
     });
 }
 
+/// Threaded SpMM over the skewed RMAT graph — the kernel the nnz-weighted
+/// chunking exists for. Same shapes as `bench_spmm` so the speedup is
+/// directly readable across groups.
+fn bench_spmm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm_threads");
+    let graph = rmat::generate_sized(10_000, 8.0, false, 1);
+    let a = graph.normalized_adjacency();
+    let d = 64usize;
+    let mut rng = StdRng::seed_from_u64(2);
+    let h = Dense::random(a.n_cols(), d, &mut rng);
+    group.throughput(Throughput::Elements((a.nnz() * d) as u64));
+    for t in THREADS {
+        let pool = Pool::new(t);
+        group.bench_with_input(BenchmarkId::new("rmat_10k_d64", t), &t, |b, _| {
+            b.iter(|| a.spmm_pool(std::hint::black_box(&h), &pool))
+        });
+    }
+    group.finish();
+}
+
+/// Threaded DMM (forward `H·W`) and its backward transposed forms
+/// (`AᵀB` for `ΔW`, `G·Wᵀ` for the input gradient).
+fn bench_dmm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmm_threads");
+    let mut rng = StdRng::seed_from_u64(3);
+    let (rows, k, n) = (10_000usize, 64usize, 16usize);
+    let a = Dense::random(rows, k, &mut rng);
+    let w = Dense::random(k, n, &mut rng);
+    let g = Dense::random(rows, n, &mut rng);
+    group.throughput(Throughput::Elements((rows * k * n) as u64));
+    for t in THREADS {
+        let pool = Pool::new(t);
+        group.bench_with_input(BenchmarkId::new("matmul_10000x64x16", t), &t, |b, _| {
+            b.iter(|| a.matmul_pool(std::hint::black_box(&w), &pool))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_at_10000x64x16", t), &t, |b, _| {
+            b.iter(|| a.matmul_at_pool(std::hint::black_box(&g), &pool))
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_bt_10000x16x64", t), &t, |b, _| {
+            b.iter(|| g.matmul_bt_pool(std::hint::black_box(&w), &pool))
+        });
+    }
+    group.finish();
+}
+
+/// Bare pool dispatch cost: post-to-workers + latch wait with an empty
+/// body, versus the same trip count inline. This is the fixed price every
+/// pooled kernel pays, and what `MIN_PARALLEL_WORK` amortizes away.
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_overhead");
+    for t in THREADS {
+        let pool = Pool::new(t);
+        group.bench_with_input(BenchmarkId::new("empty_run", t), &t, |b, &t| {
+            b.iter(|| pool.run(std::hint::black_box(t), |_| {}))
+        });
+    }
+    group.bench_function("inline_loop_4", |b| {
+        b.iter(|| {
+            for i in 0..4usize {
+                std::hint::black_box(i);
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_spmm,
     bench_dmm,
     bench_gather,
-    bench_normalize
+    bench_normalize,
+    bench_spmm_threads,
+    bench_dmm_threads,
+    bench_pool_overhead
 );
 criterion_main!(benches);

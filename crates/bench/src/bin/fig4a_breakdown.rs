@@ -8,13 +8,22 @@
 //! The paper's findings this must reproduce: P2P comm time *decreases* with
 //! P while CAGNET's *increases*; HP has the lowest comm at high P (GP ~1.7×
 //! and CN ~8× higher at P = 512); CAGNET also pays redundant computation.
+//!
+//! The first table is the cluster-profile *model* (like Fig. 3). A second
+//! table then reports the *measured* split from real training runs on this
+//! machine: per-rank `comm_seconds` (blocked in recv/allreduce) and
+//! `compute_seconds` (its complement) from [`pargcn_comm::CommCounters`],
+//! at small P with `--threads` kernel threads per rank.
 
 use pargcn_bench::{build_cagnet_plans, build_plans, comm_experiment_config, Opts, ResultRow};
 use pargcn_comm::MachineProfile;
 use pargcn_core::baselines::cagnet;
+use pargcn_core::dist;
 use pargcn_core::metrics::simulate_epoch;
 use pargcn_graph::Dataset;
+use pargcn_matrix::Dense;
 use pargcn_partition::Method;
+use pargcn_util::rng::{Rng, SeedableRng, StdRng};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -82,6 +91,63 @@ fn main() {
             p,
             metrics,
         });
+    }
+
+    // Measured split: real training runs with the Table 2 setup (random
+    // vertex features and label data), timed via the per-rank counters.
+    let epochs = if opts.quick { 1 } else { 3 };
+    let measured_ps: Vec<usize> = if opts.quick { vec![2] } else { vec![2, 4] };
+    let n = data.graph.n();
+    let (d_in, classes) = (config.dims[0], *config.dims.last().unwrap());
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let h0 = Dense::random(n, d_in, &mut rng);
+    let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..classes as u32)).collect();
+    let mask = vec![true; n];
+
+    println!();
+    println!("Measured on this machine ({epochs} epochs, seconds per epoch, per-rank mean):");
+    println!(
+        "{:<8} {:<8} {:>12} {:>12} {:>12}",
+        "P", "Method", "wall", "comm", "comp"
+    );
+    for &p in &measured_ps {
+        for method in [Method::Hp, Method::Rp] {
+            let (part, _, _) = build_plans(&data, &a, method, p, opts.seed);
+            let out = dist::train_full_batch_threads(
+                &data.graph,
+                &h0,
+                &labels,
+                &mask,
+                &part,
+                &config,
+                epochs,
+                opts.seed,
+                opts.threads,
+            );
+            let per_rank = |v: f64| v / (p * epochs) as f64;
+            let comm = per_rank(out.counters.iter().map(|c| c.comm_seconds).sum());
+            let comp = per_rank(out.counters.iter().map(|c| c.compute_seconds).sum());
+            let wall = out.rank_seconds.iter().cloned().fold(0.0, f64::max) / epochs as f64;
+            println!(
+                "{:<8} {:<8} {:>12.5} {:>12.5} {:>12.5}",
+                p,
+                method.name(),
+                wall,
+                comm,
+                comp
+            );
+            let mut metrics = BTreeMap::new();
+            metrics.insert("wall".into(), wall);
+            metrics.insert("comm".into(), comm);
+            metrics.insert("comp".into(), comp);
+            rows.push(ResultRow {
+                experiment: "fig4a_measured".into(),
+                dataset: ds.name().into(),
+                method: method.name().into(),
+                p,
+                metrics,
+            });
+        }
     }
     pargcn_bench::write_json(&opts, &rows);
 }

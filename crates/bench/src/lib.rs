@@ -7,7 +7,9 @@
 //!
 //! * `--quick` — smaller graphs and processor counts (CI-friendly);
 //! * `--scale <div>` — extra scale divisor on top of each dataset's default;
-//! * `--seed <n>` — RNG seed (default 1).
+//! * `--seed <n>` — RNG seed (default 1);
+//! * `--threads <n>` — kernel thread-pool size per rank (default: the
+//!   `PARGCN_THREADS` env var, else `available_parallelism / p`).
 
 use pargcn_core::baselines::cagnet::CagnetPlan;
 use pargcn_core::{CommPlan, GcnConfig};
@@ -24,6 +26,7 @@ pub struct Opts {
     pub extra_scale: u32,
     pub seed: u64,
     pub json: Option<String>,
+    pub threads: Option<usize>,
 }
 
 impl Opts {
@@ -40,6 +43,7 @@ impl Opts {
             extra_scale: 1,
             seed: 1,
             json: None,
+            threads: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -56,6 +60,10 @@ impl Opts {
                 "--json" => {
                     i += 1;
                     opts.json = args.get(i).cloned();
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args.get(i).and_then(|s| s.parse().ok()).filter(|&t| t > 0);
                 }
                 _ => {}
             }
@@ -215,6 +223,8 @@ mod tests {
             "9",
             "--json",
             "/tmp/x.json",
+            "--threads",
+            "4",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -224,6 +234,7 @@ mod tests {
         assert_eq!(o.extra_scale, 4);
         assert_eq!(o.seed, 9);
         assert_eq!(o.json.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(o.threads, Some(4));
     }
 
     #[test]
@@ -260,6 +271,7 @@ mod tests {
             extra_scale: 8,
             seed: 1,
             json: None,
+            threads: None,
         };
         let data = o.load(Dataset::ComAmazon);
         let a = data.graph.normalized_adjacency();

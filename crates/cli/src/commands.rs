@@ -2,7 +2,7 @@
 
 use crate::args::{Args, ParseError};
 use pargcn_comm::MachineProfile;
-use pargcn_core::dist::train_full_batch;
+use pargcn_core::dist::train_full_batch_threads;
 use pargcn_core::metrics::{simulate_epoch, simulate_serial_epoch};
 use pargcn_core::optim::Optimizer;
 use pargcn_core::{checkpoint, loss, CommPlan, GcnConfig, LayerOrder};
@@ -23,7 +23,12 @@ USAGE:
                    [--epsilon 0.01] [--scale <div>] [--seed <n>] [--out <file>]
   pargcn train     --dataset <name> [--method hp] [--p 4] [--epochs 30]
                    [--hidden 16] [--lr 0.1] [--optimizer sgd|adam]
-                   [--scale <div>] [--seed <n>] [--save-params <file>]
+                   [--threads <n>] [--scale <div>] [--seed <n>]
+                   [--save-params <file>]
+
+--threads sets the kernel thread-pool size per rank (also: PARGCN_THREADS
+env var); default auto = available_parallelism / p. Results are bitwise
+identical for any thread count.
   pargcn simulate  --dataset <name> [--method hp] [--p 512] [--machine cpu|gpu]
                    [--layers 2] [--d 32] [--scale <div>] [--seed <n>]
 
@@ -166,6 +171,9 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
     let hidden: usize = args.num_or("hidden", 16usize)?;
     let lr: f32 = args.num_or("lr", 0.1f32)?;
     let seed: u64 = args.num_or("seed", 1u64)?;
+    // 0 = auto (PARGCN_THREADS env, else available_parallelism / p).
+    let threads: usize = args.num_or("threads", 0usize)?;
+    let threads = (threads > 0).then_some(threads);
     let m = method(args.get_or("method", "hp"), data.graph.n())?;
     let optimizer = match args.get_or("optimizer", "sgd") {
         "sgd" => Optimizer::Sgd,
@@ -203,14 +211,15 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
         seed,
     );
     println!(
-        "training {} on {} ranks ({}), {} epochs, {} optimizer",
+        "training {} on {} ranks ({}), {} threads/rank, {} epochs, {} optimizer",
         ds.name(),
         p,
         m.name(),
+        pargcn_util::pool::auto_threads(p, threads),
         epochs,
         args.get_or("optimizer", "sgd")
     );
-    let out = train_full_batch(
+    let out = train_full_batch_threads(
         &data.graph,
         &features,
         &labels,
@@ -219,6 +228,7 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
         &config,
         epochs,
         seed,
+        threads,
     );
     for (e, l) in out.losses.iter().enumerate() {
         if e % 5 == 0 || e + 1 == out.losses.len() {

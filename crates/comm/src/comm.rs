@@ -110,6 +110,16 @@ impl RankCtx {
         self.counters.reset();
     }
 
+    /// Credits `seconds` of local (non-blocked) kernel time to this rank.
+    ///
+    /// The runtime times blocking receives and collectives itself
+    /// (`comm_seconds`); compute time is the complement and only the caller
+    /// knows the span it covers, so the trainers report it explicitly as
+    /// `span wall time − comm_seconds accrued in the span`.
+    pub fn add_compute_seconds(&mut self, seconds: f64) {
+        self.counters.compute_seconds += seconds.max(0.0);
+    }
+
     /// Non-blocking point-to-point send. Returns immediately; the payload
     /// is owned by the runtime from here on.
     ///

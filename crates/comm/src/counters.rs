@@ -21,6 +21,13 @@ pub struct CommCounters {
     pub collective_bytes: u64,
     /// Wall seconds this rank spent blocked in receives and collectives.
     pub comm_seconds: f64,
+    /// Wall seconds this rank spent *not* blocked on communication — local
+    /// kernel work (SpMM/DMM/activations), regardless of how many pool
+    /// threads executed it. Recorded by the trainers as
+    /// `epoch wall time − comm_seconds`, so `comm + compute` for a rank is
+    /// its end-to-end wall time and the compute/comm split of fig4a is
+    /// measurable per rank.
+    pub compute_seconds: f64,
 }
 
 impl CommCounters {
@@ -35,6 +42,7 @@ impl CommCounters {
             out.collective_messages += c.collective_messages;
             out.collective_bytes += c.collective_bytes;
             out.comm_seconds += c.comm_seconds;
+            out.compute_seconds += c.compute_seconds;
         }
         out
     }
@@ -65,6 +73,7 @@ mod tests {
         assert_eq!(m.sent_messages, 5);
         assert_eq!(m.sent_bytes, 100);
         assert_eq!(m.recv_bytes, 50);
+        assert_eq!(m.compute_seconds, 0.0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Activation functions `σ` and their derivatives `σ'` (paper Eq. 1–3).
 
 use pargcn_matrix::Dense;
+use pargcn_util::pool::Pool;
 
 /// Element-wise activation applied to `Zᵏ` to form `Hᵏ`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,6 +26,23 @@ impl Activation {
         match self {
             Activation::Relu => z.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
             Activation::Identity => z.map(|_| 1.0),
+        }
+    }
+
+    /// Pooled [`Activation::apply`]; element-wise, so bitwise identical to
+    /// serial at any thread count.
+    pub fn apply_pool(&self, z: &Dense, pool: &Pool) -> Dense {
+        match self {
+            Activation::Relu => z.map_pool(pool, |v| v.max(0.0)),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// Pooled [`Activation::derivative`]; bitwise identical to serial.
+    pub fn derivative_pool(&self, z: &Dense, pool: &Pool) -> Dense {
+        match self {
+            Activation::Relu => z.map_pool(pool, |v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Identity => z.map_pool(pool, |_| 1.0),
         }
     }
 }

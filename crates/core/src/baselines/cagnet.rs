@@ -16,8 +16,10 @@ use crate::model::{GcnConfig, Params};
 use pargcn_comm::costmodel::{self, MachineProfile, PhaseTime};
 use pargcn_comm::{CommCounters, Communicator, RankCtx};
 use pargcn_graph::Graph;
-use pargcn_matrix::{gather, Csr, Dense};
+use pargcn_matrix::{gather, ComputeCtx, Csr, Dense};
 use pargcn_partition::Partition;
+use pargcn_util::pool::Pool;
+use std::time::Instant;
 
 /// Per-rank data of the broadcast algorithm: the local rows and, for every
 /// source rank `b`, the column block of the local adjacency to multiply
@@ -85,6 +87,7 @@ fn spmm_broadcast(
     rank_plan: &CagnetRank,
     x_local: &Dense,
     d: usize,
+    pool: &Pool,
 ) -> Dense {
     let mut ax = Dense::zeros(rank_plan.local_rows.len(), d);
     for b in 0..plan.p {
@@ -96,7 +99,7 @@ fn spmm_broadcast(
         };
         ctx.broadcast(b, &mut buf);
         let xb = Dense::from_vec(rows_b, d, buf);
-        rank_plan.blocks[b].spmm_into(&xb, &mut ax, true);
+        rank_plan.blocks[b].spmm_into_pool(&xb, &mut ax, true, pool);
     }
     ax
 }
@@ -122,6 +125,25 @@ pub fn train_full_batch(
     config: &GcnConfig,
     epochs: usize,
     param_seed: u64,
+) -> CagnetOutcome {
+    train_full_batch_threads(
+        graph, h0, labels, mask, part, config, epochs, param_seed, None,
+    )
+}
+
+/// As [`train_full_batch`] with an explicit per-rank kernel thread count
+/// (`None` = `PARGCN_THREADS` env, else `available_parallelism / p`).
+#[allow(clippy::too_many_arguments)]
+pub fn train_full_batch_threads(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    epochs: usize,
+    param_seed: u64,
+    threads: Option<usize>,
 ) -> CagnetOutcome {
     let a = graph.normalized_adjacency();
     let plan_f = CagnetPlan::build(&a, part);
@@ -158,10 +180,13 @@ pub fn train_full_batch(
     let results: Vec<R> = Communicator::run(p, |ctx| {
         let m = ctx.rank();
         let (h_local, l_local, m_local) = &locals[m];
+        let cctx = ComputeCtx::for_ranks(p, threads);
         let mut params = init.clone();
         let mut losses = Vec::with_capacity(epochs);
+        let start = Instant::now();
 
         let forward = |ctx: &mut RankCtx, params: &Params| {
+            let pool = cctx.pool();
             let mut z = Vec::with_capacity(layers);
             let mut h = vec![h_local.clone()];
             for k in 1..=layers {
@@ -171,9 +196,10 @@ pub fn train_full_batch(
                     &plan_f.ranks[m],
                     &h[k - 1],
                     config.dims[k - 1],
+                    pool,
                 );
-                let zk = ah.matmul(&params.weights[k - 1]);
-                h.push(config.activation(k).apply(&zk));
+                let zk = ah.matmul_pool(&params.weights[k - 1], pool);
+                h.push(config.activation(k).apply_pool(&zk, pool));
                 z.push(zk);
             }
             (z, h)
@@ -203,23 +229,29 @@ pub fn train_full_batch(
             // collectives' reserved tags untouched — broadcasts tag
             // internally, this is only for symmetry with the P2P trainer).
             let _ = TAG_BWD;
-            let mut g = grad.hadamard(&config.activation(layers).derivative(&z[layers - 1]));
+            let pool = cctx.pool();
+            let mut g = grad.hadamard(
+                &config
+                    .activation(layers)
+                    .derivative_pool(&z[layers - 1], pool),
+            );
             for k in (1..=layers).rev() {
-                let ag = spmm_broadcast(ctx, &plan_b, &plan_b.ranks[m], &g, config.dims[k]);
-                let mut delta_w = h[k - 1].matmul_at(&ag);
+                let ag = spmm_broadcast(ctx, &plan_b, &plan_b.ranks[m], &g, config.dims[k], pool);
+                let mut delta_w = h[k - 1].matmul_at_pool(&ag, pool);
                 let s = if k > 1 {
-                    Some(ag.matmul_bt(&params.weights[k - 1]))
+                    Some(ag.matmul_bt_pool(&params.weights[k - 1], pool))
                 } else {
                     None
                 };
                 ctx.allreduce_sum(delta_w.data_mut());
                 params.weights[k - 1].sub_scaled_assign(&delta_w, config.learning_rate);
                 if let Some(s) = s {
-                    g = s.hadamard(&config.activation(k - 1).derivative(&z[k - 2]));
+                    g = s.hadamard(&config.activation(k - 1).derivative_pool(&z[k - 2], pool));
                 }
             }
         }
         let (_, h) = forward(ctx, &params);
+        ctx.add_compute_seconds(start.elapsed().as_secs_f64() - ctx.counters().comm_seconds);
         R {
             pred: h.into_iter().last().unwrap(),
             counters: ctx.counters().clone(),
@@ -327,7 +359,15 @@ mod tests {
             .map(|r| gather::gather_rows(&h, &r.local_rows))
             .collect();
         let results = Communicator::run(3, |ctx| {
-            spmm_broadcast(ctx, &plan, &plan.ranks[ctx.rank()], &locals[ctx.rank()], 4)
+            let cctx = ComputeCtx::serial();
+            spmm_broadcast(
+                ctx,
+                &plan,
+                &plan.ranks[ctx.rank()],
+                &locals[ctx.rank()],
+                4,
+                cctx.pool(),
+            )
         });
         for (rp, res) in plan.ranks.iter().zip(&results) {
             for (li, &gv) in rp.local_rows.iter().enumerate() {

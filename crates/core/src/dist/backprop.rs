@@ -22,21 +22,27 @@ use pargcn_matrix::Dense;
 /// `∇_{H^L} Jₘ`, updating `st.params` in place (identically on all ranks).
 /// Returns the local gradient flow for inspection by tests.
 pub fn run(ctx: &mut RankCtx, st: &mut RankState<'_>, fwd: &LocalForward, grad_hl_local: &Dense) {
+    // Cheap Arc clone so the pool stays usable across `&mut st` updates.
+    let cctx = st.ctx.clone();
+    let pool = cctx.pool();
     let layers = st.config.layers();
     // Line 2: G^L = ∇_{H^L} J ⊙ σ'(Z^L).
-    let mut g =
-        grad_hl_local.hadamard(&st.config.activation(layers).derivative(&fwd.z[layers - 1]));
+    let mut g = grad_hl_local.hadamard(
+        &st.config
+            .activation(layers)
+            .derivative_pool(&fwd.z[layers - 1], pool),
+    );
 
     for k in (1..=layers).rev() {
         // Lines 4–10: the point-to-point exchange computing (Â'Gᵏ)ₘ.
-        let ag = feedforward::spmm_exchange_with_plan(ctx, st.plan_b, &g, TAG_BWD + k as u32);
+        let ag = feedforward::spmm_exchange_with_plan(ctx, st.plan_b, &g, TAG_BWD + k as u32, pool);
 
         // Line 12: local partial ΔWᵏₘ = (H^{k-1}ₘ)ᵀ (Â'Gᵏ)ₘ.
-        let mut delta_w = fwd.h[k - 1].matmul_at(&ag);
+        let mut delta_w = fwd.h[k - 1].matmul_at_pool(&ag, pool);
 
         // Sᵏ must use the *pre-update* Wᵏ (line 7 precedes line 14).
         let s = if k > 1 {
-            Some(ag.matmul_bt(&st.params.weights[k - 1]))
+            Some(ag.matmul_bt_pool(&st.params.weights[k - 1], pool))
         } else {
             None
         };
@@ -55,7 +61,11 @@ pub fn run(ctx: &mut RankCtx, st: &mut RankState<'_>, fwd: &LocalForward, grad_h
 
         // Line 11: G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1}).
         if let Some(s) = s {
-            g = s.hadamard(&st.config.activation(k - 1).derivative(&fwd.z[k - 2]));
+            g = s.hadamard(
+                &st.config
+                    .activation(k - 1)
+                    .derivative_pool(&fwd.z[k - 2], pool),
+            );
         }
     }
     st.opt_state.advance();

@@ -20,9 +20,12 @@ use super::{LocalForward, RankState, TAG_FWD};
 use crate::model::LayerOrder;
 use pargcn_comm::RankCtx;
 use pargcn_matrix::{gather, Dense};
+use pargcn_util::pool::Pool;
 
-/// Runs the full feedforward pass, returning local intermediates.
+/// Runs the full feedforward pass, returning local intermediates. Local
+/// kernels (SpMM/DMM/activation) run on the rank's thread pool.
 pub fn run(ctx: &mut RankCtx, st: &RankState<'_>) -> LocalForward {
+    let pool = st.ctx.pool();
     let layers = st.config.layers();
     let mut z = Vec::with_capacity(layers);
     let mut h = Vec::with_capacity(layers + 1);
@@ -32,17 +35,17 @@ pub fn run(ctx: &mut RankCtx, st: &RankState<'_>) -> LocalForward {
         let zk = match st.config.order {
             LayerOrder::SpmmFirst => {
                 let ah = spmm_exchange(ctx, st, &h[k - 1], TAG_FWD + k as u32);
-                ah.matmul(w)
+                ah.matmul_pool(w, pool)
             }
             LayerOrder::DmmFirst => {
                 // §4.4: transform locally first, then aggregate with the
                 // *same* communication pattern (messages carry d_out-wide
                 // rows instead of d_in-wide ones).
-                let hw = h[k - 1].matmul(w);
+                let hw = h[k - 1].matmul_pool(w, pool);
                 spmm_exchange(ctx, st, &hw, TAG_FWD + k as u32)
             }
         };
-        let hk = st.config.activation(k).apply(&zk);
+        let hk = st.config.activation(k).apply_pool(&zk, pool);
         z.push(zk);
         h.push(hk);
     }
@@ -62,15 +65,18 @@ pub fn spmm_exchange(ctx: &mut RankCtx, st: &RankState<'_>, x_local: &Dense, tag
         },
         x_local,
         tag,
+        st.ctx.pool(),
     )
 }
 
-/// As [`spmm_exchange`] with an explicit plan (used directly by tests).
+/// As [`spmm_exchange`] with an explicit plan and pool (used directly by
+/// tests and the SGC sweep).
 pub fn spmm_exchange_with_plan(
     ctx: &mut RankCtx,
     plan: &crate::plan::RankPlan,
     x_local: &Dense,
     tag: u32,
+    pool: &Pool,
 ) -> Dense {
     let d = x_local.cols();
 
@@ -83,7 +89,7 @@ pub fn spmm_exchange_with_plan(
 
     // Line 6: local block product, overlapping the in-flight messages.
     let mut ax = Dense::zeros(plan.n_local(), d);
-    plan.a_own.spmm_into(x_local, &mut ax, true);
+    plan.a_own.spmm_into_pool(x_local, &mut ax, true, pool);
 
     // Lines 7–9: drain receives eagerly (any completion order), but
     // *accumulate* strictly in plan order. Remote blocks overlap on output
@@ -105,7 +111,9 @@ pub fn spmm_exchange_with_plan(
             let Some(x_recv) = arrived[next].take() else {
                 break;
             };
-            plan.a_remote[next].a.spmm_into(&x_recv, &mut ax, true);
+            plan.a_remote[next]
+                .a
+                .spmm_into_pool(&x_recv, &mut ax, true, pool);
             next += 1;
             progressed = true;
         }
@@ -115,7 +123,7 @@ pub fn spmm_exchange_with_plan(
             let block = &plan.a_remote[next];
             let data = ctx.recv(block.peer, tag);
             let x_recv = Dense::from_vec(block.rows.len(), d, data);
-            block.a.spmm_into(&x_recv, &mut ax, true);
+            block.a.spmm_into_pool(&x_recv, &mut ax, true, pool);
             next += 1;
         }
     }

@@ -6,12 +6,12 @@ pub mod backprop;
 pub mod feedforward;
 pub mod trainer;
 
-pub use trainer::{train_full_batch, DistOutcome};
+pub use trainer::{train_full_batch, train_full_batch_threads, DistOutcome};
 
 use crate::model::{GcnConfig, Params};
 use crate::optim::OptimizerState;
 use crate::plan::RankPlan;
-use pargcn_matrix::Dense;
+use pargcn_matrix::{ComputeCtx, Dense};
 
 /// Everything one rank holds during training: its slice of the plan and
 /// data, plus the replicated parameters.
@@ -34,6 +34,10 @@ pub struct RankState<'a> {
     pub mask_total: f64,
     /// Replicated optimizer state (kept in lock-step like the parameters).
     pub opt_state: OptimizerState,
+    /// This rank's thread pool for local kernels (the paper's per-processor
+    /// multithreaded GraphBLAS layer). Pooled kernels are bitwise identical
+    /// to serial, so the thread count never changes results.
+    pub ctx: ComputeCtx,
 }
 
 /// Local intermediates of one forward pass (per rank).

@@ -7,7 +7,7 @@ use crate::model::{GcnConfig, Params};
 use crate::plan::CommPlan;
 use pargcn_comm::{CommCounters, Communicator};
 use pargcn_graph::Graph;
-use pargcn_matrix::{gather, Dense};
+use pargcn_matrix::{gather, ComputeCtx, Dense};
 use pargcn_partition::Partition;
 use std::time::Instant;
 
@@ -41,7 +41,9 @@ struct RankResult {
 }
 
 /// Trains an L-layer GCN for `epochs` full-batch epochs on `p` ranks
-/// (one thread per rank), with masked softmax cross-entropy.
+/// (one OS thread per rank, plus each rank's kernel thread pool sized by
+/// `PARGCN_THREADS` / `available_parallelism / p`), with masked softmax
+/// cross-entropy.
 ///
 /// Functionally equivalent to [`crate::serial::SerialTrainer`] with the
 /// same `param_seed` — that equivalence, for arbitrary partitions, is the
@@ -60,6 +62,27 @@ pub fn train_full_batch(
     epochs: usize,
     param_seed: u64,
 ) -> DistOutcome {
+    train_full_batch_threads(
+        graph, h0, labels, mask, part, config, epochs, param_seed, None,
+    )
+}
+
+/// As [`train_full_batch`] with an explicit per-rank kernel thread count
+/// (`None` = `PARGCN_THREADS` env, else `available_parallelism / p`). The
+/// thread count never changes results: pooled kernels are bitwise
+/// identical to serial (see the determinism test-suite).
+#[allow(clippy::too_many_arguments)]
+pub fn train_full_batch_threads(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    epochs: usize,
+    param_seed: u64,
+    threads: Option<usize>,
+) -> DistOutcome {
     let a = graph.normalized_adjacency();
     let plan_f = CommPlan::build(&a, part);
     let plan_b = if graph.directed() {
@@ -68,7 +91,9 @@ pub fn train_full_batch(
         plan_f.clone()
     };
     let init = config.init_params(param_seed);
-    train_with_plans(&plan_f, &plan_b, h0, labels, mask, config, epochs, init)
+    train_with_plans_threads(
+        &plan_f, &plan_b, h0, labels, mask, config, epochs, init, threads,
+    )
 }
 
 /// Training core over prebuilt plans with explicit initial parameters
@@ -83,6 +108,22 @@ pub fn train_with_plans(
     config: &GcnConfig,
     epochs: usize,
     init: Params,
+) -> DistOutcome {
+    train_with_plans_threads(plan_f, plan_b, h0, labels, mask, config, epochs, init, None)
+}
+
+/// As [`train_with_plans`] with an explicit per-rank kernel thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_plans_threads(
+    plan_f: &CommPlan,
+    plan_b: &CommPlan,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    config: &GcnConfig,
+    epochs: usize,
+    init: Params,
+    threads: Option<usize>,
 ) -> DistOutcome {
     let p = plan_f.p;
     let n = plan_f.n;
@@ -116,6 +157,7 @@ pub fn train_with_plans(
             mask: m_local.clone(),
             mask_total,
             opt_state: crate::optim::OptimizerState::new(config.optimizer, &config.shapes()),
+            ctx: ComputeCtx::for_ranks(p, threads),
         };
         let start = Instant::now();
         let mut losses = Vec::with_capacity(epochs);
@@ -133,12 +175,16 @@ pub fn train_with_plans(
         // Final predictions with the trained parameters.
         let fwd = feedforward::run(ctx, &st);
         let pred = fwd.h.into_iter().last().unwrap();
+        let seconds = start.elapsed().as_secs_f64();
+        // Compute time is the non-blocked complement of the runtime-timed
+        // comm seconds, so `comm + compute == wall` per rank (fig4a split).
+        ctx.add_compute_seconds(seconds - ctx.counters().comm_seconds);
         RankResult {
             pred,
             counters: ctx.counters().clone(),
             losses,
             params: st.params,
-            seconds: start.elapsed().as_secs_f64(),
+            seconds,
         }
     });
 

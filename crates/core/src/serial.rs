@@ -13,9 +13,15 @@ use crate::loss;
 use crate::model::{GcnConfig, LayerOrder, Params};
 use crate::optim::OptimizerState;
 use pargcn_graph::Graph;
-use pargcn_matrix::{Csr, Dense};
+use pargcn_matrix::{ComputeCtx, Csr, Dense};
 
 /// Serial full-batch GCN trainer.
+///
+/// "Serial" refers to the absence of ranks/communication; local kernels
+/// still run on a thread pool (`PARGCN_THREADS`, default
+/// `available_parallelism`) — exactly like the paper's single-node
+/// baseline, whose GraphBLAS kernels are multithreaded. Pooled kernels are
+/// bitwise identical to serial execution, so the oracle role is unaffected.
 pub struct SerialTrainer {
     /// Normalized adjacency `Â`.
     a: Csr,
@@ -24,6 +30,7 @@ pub struct SerialTrainer {
     config: GcnConfig,
     pub params: Params,
     opt_state: OptimizerState,
+    ctx: ComputeCtx,
 }
 
 /// Intermediate state of one forward pass, kept for backpropagation.
@@ -52,6 +59,7 @@ impl SerialTrainer {
             config,
             params,
             opt_state,
+            ctx: ComputeCtx::for_ranks(1, None),
         }
     }
 
@@ -66,7 +74,15 @@ impl SerialTrainer {
             config,
             params,
             opt_state,
+            ctx: ComputeCtx::for_ranks(1, None),
         }
+    }
+
+    /// Replaces the compute context (e.g. a shared pool, or a forced
+    /// thread count for benchmarking).
+    pub fn with_ctx(mut self, ctx: ComputeCtx) -> Self {
+        self.ctx = ctx;
+        self
     }
 
     pub fn config(&self) -> &GcnConfig {
@@ -77,16 +93,17 @@ impl SerialTrainer {
     pub fn forward(&self, h0: &Dense) -> ForwardState {
         assert_eq!(h0.rows(), self.a.n_rows(), "feature row count mismatch");
         assert_eq!(h0.cols(), self.config.dims[0], "input width mismatch");
+        let pool = self.ctx.pool();
         let mut z = Vec::with_capacity(self.config.layers());
         let mut h = Vec::with_capacity(self.config.layers() + 1);
         h.push(h0.clone());
         for k in 1..=self.config.layers() {
             let w = &self.params.weights[k - 1];
             let zk = match self.config.order {
-                LayerOrder::SpmmFirst => self.a.spmm(&h[k - 1]).matmul(w),
-                LayerOrder::DmmFirst => self.a.spmm(&h[k - 1].matmul(w)),
+                LayerOrder::SpmmFirst => self.a.spmm_pool(&h[k - 1], pool).matmul_pool(w, pool),
+                LayerOrder::DmmFirst => self.a.spmm_pool(&h[k - 1].matmul_pool(w, pool), pool),
             };
-            let hk = self.config.activation(k).apply(&zk);
+            let hk = self.config.activation(k).apply_pool(&zk, pool);
             z.push(zk);
             h.push(hk);
         }
@@ -96,6 +113,7 @@ impl SerialTrainer {
     /// Backpropagation (paper Eqs. 2–5) given the output-layer loss
     /// gradient `∇_{H^L} J`. Returns the parameter gradients `ΔW¹…ΔW^L`.
     pub fn backward(&self, state: &ForwardState, grad_hl: &Dense) -> Vec<Dense> {
+        let pool = self.ctx.pool();
         let layers = self.config.layers();
         let mut delta_w = vec![Dense::zeros(0, 0); layers];
         // G^L = ∇_{H^L} J ⊙ σ'(Z^L)  (Eq. 2)
@@ -103,29 +121,39 @@ impl SerialTrainer {
             &self
                 .config
                 .activation(layers)
-                .derivative(&state.z[layers - 1]),
+                .derivative_pool(&state.z[layers - 1], pool),
         );
         for k in (1..=layers).rev() {
             let w = &self.params.weights[k - 1];
             match self.config.order {
                 LayerOrder::SpmmFirst => {
                     // ΔWᵏ = (H^{k-1})ᵀ (Âᵀ Gᵏ)   (Eq. 4; Âᵀ for directed)
-                    let ag = self.a_back.spmm(&g);
-                    delta_w[k - 1] = state.h[k - 1].matmul_at(&ag);
+                    let ag = self.a_back.spmm_pool(&g, pool);
+                    delta_w[k - 1] = state.h[k - 1].matmul_at_pool(&ag, pool);
                     if k > 1 {
                         // Sᵏ = (ÂᵀGᵏ)(Wᵏ)ᵀ; G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1})  (Eq. 3)
-                        let s = ag.matmul_bt(w);
-                        g = s.hadamard(&self.config.activation(k - 1).derivative(&state.z[k - 2]));
+                        let s = ag.matmul_bt_pool(w, pool);
+                        g = s.hadamard(
+                            &self
+                                .config
+                                .activation(k - 1)
+                                .derivative_pool(&state.z[k - 2], pool),
+                        );
                     }
                 }
                 LayerOrder::DmmFirst => {
                     // Z = Â(HW): dJ/d(HW) = ÂᵀG, ΔW = Hᵀ(ÂᵀG),
                     // dJ/dH = (ÂᵀG)Wᵀ — same shapes, same comm pattern.
-                    let ag = self.a_back.spmm(&g);
-                    delta_w[k - 1] = state.h[k - 1].matmul_at(&ag);
+                    let ag = self.a_back.spmm_pool(&g, pool);
+                    delta_w[k - 1] = state.h[k - 1].matmul_at_pool(&ag, pool);
                     if k > 1 {
-                        let s = ag.matmul_bt(w);
-                        g = s.hadamard(&self.config.activation(k - 1).derivative(&state.z[k - 2]));
+                        let s = ag.matmul_bt_pool(w, pool);
+                        g = s.hadamard(
+                            &self
+                                .config
+                                .activation(k - 1)
+                                .derivative_pool(&state.z[k - 2], pool),
+                        );
                     }
                 }
             }

@@ -114,11 +114,12 @@ pub fn train_distributed(
         let m = ctx.rank();
         let rp = &plan.ranks[m];
         let (h_local, l_local, m_local) = &locals[m];
+        let cctx = pargcn_matrix::ComputeCtx::for_ranks(part.p(), None);
 
         // K-hop propagation: the only point-to-point communication.
         let mut hp = h_local.clone();
         for sweep in 0..k {
-            hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep as u32);
+            hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep as u32, cctx.pool());
         }
 
         // Training epochs: purely local + ΔW allreduce.
@@ -202,10 +203,11 @@ mod tests {
             .map(|rp| gather::gather_rows(&h0, &rp.local_rows))
             .collect();
         let results = Communicator::run(4, |ctx| {
+            let cctx = pargcn_matrix::ComputeCtx::serial();
             let rp = &plan.ranks[ctx.rank()];
             let mut hp = locals[ctx.rank()].clone();
             for sweep in 0..3 {
-                hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep);
+                hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep, cctx.pool());
             }
             hp
         });

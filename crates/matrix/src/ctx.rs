@@ -1,0 +1,87 @@
+//! Compute context: the per-rank handle to intra-rank thread parallelism.
+//!
+//! The paper's processors each run multithreaded SuiteSparse:GraphBLAS
+//! kernels; [`ComputeCtx`] is our equivalent — a shared handle to a
+//! [`Pool`] that the SpMM/DMM kernels use to split row ranges across
+//! threads. One context is built per simulated rank, so `p` ranks ×
+//! `t` threads gives the paper's hybrid execution model.
+//!
+//! Every pooled kernel produces **bitwise identical** results to its serial
+//! counterpart at any thread count: chunks write disjoint output rows with
+//! the same inner loops, and nothing is ever reduced across threads.
+
+use std::sync::Arc;
+
+use pargcn_util::pool::{auto_threads, Pool};
+
+/// Minimum per-kernel work (≈ inner-loop multiply-adds) before a kernel
+/// bothers splitting across threads; below this the pool dispatch overhead
+/// dominates. The cutoff is a pure function of operand shape, so a given
+/// call is chunked the same way on every rank and every run.
+pub const MIN_PARALLEL_WORK: usize = 16 * 1024;
+
+/// Cheaply cloneable handle to a per-rank thread pool.
+#[derive(Clone, Debug)]
+pub struct ComputeCtx {
+    pool: Arc<Pool>,
+}
+
+impl ComputeCtx {
+    /// A single-threaded context: every kernel runs inline on the caller.
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// A context with exactly `threads` executors (min 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            pool: Arc::new(Pool::new(threads)),
+        }
+    }
+
+    /// A context for one of `ranks` simulated processors sharing the
+    /// machine: `threads` if given, else `PARGCN_THREADS`, else
+    /// `available_parallelism / ranks` (see [`auto_threads`]).
+    pub fn for_ranks(ranks: usize, threads: Option<usize>) -> Self {
+        Self::with_threads(auto_threads(ranks, threads))
+    }
+
+    #[inline]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl Default for ComputeCtx {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_ctx_has_one_thread() {
+        assert_eq!(ComputeCtx::serial().threads(), 1);
+        assert_eq!(ComputeCtx::default().threads(), 1);
+    }
+
+    #[test]
+    fn explicit_threads_win() {
+        assert_eq!(ComputeCtx::for_ranks(4, Some(3)).threads(), 3);
+    }
+
+    #[test]
+    fn clone_shares_the_pool() {
+        let ctx = ComputeCtx::with_threads(2);
+        let clone = ctx.clone();
+        assert!(std::ptr::eq(ctx.pool(), clone.pool()));
+    }
+}

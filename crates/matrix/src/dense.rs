@@ -6,6 +6,7 @@
 //! order so the inner loop streams contiguously over rows of the right-hand
 //! operand, which vectorizes well for skinny matrices.
 
+use pargcn_util::pool::{even_chunks, Pool};
 use pargcn_util::rng::Rng;
 
 /// A row-major dense `f32` matrix.
@@ -153,6 +154,50 @@ impl Dense {
         }
     }
 
+    /// Pooled [`Dense::matmul`]; see [`Dense::matmul_into_pool`].
+    pub fn matmul_pool(&self, b: &Dense, pool: &Pool) -> Dense {
+        assert_eq!(self.cols, b.rows, "matmul dimension mismatch");
+        let mut out = Dense::zeros(self.rows, b.cols);
+        self.matmul_into_pool(b, &mut out, true, pool);
+        out
+    }
+
+    /// Pooled [`Dense::matmul_into`]: output rows are split evenly across
+    /// the pool's threads. Each chunk runs the serial inner loops over its
+    /// disjoint output rows, so the result is bitwise identical to
+    /// [`Dense::matmul_into`] at any thread count.
+    pub fn matmul_into_pool(&self, b: &Dense, out: &mut Dense, accumulate: bool, pool: &Pool) {
+        if pool.threads() == 1 || self.rows * self.cols * b.cols < crate::ctx::MIN_PARALLEL_WORK {
+            self.matmul_into(b, out, accumulate);
+            return;
+        }
+        assert_eq!(self.cols, b.rows, "matmul dimension mismatch");
+        assert_eq!(out.rows, self.rows, "matmul output rows mismatch");
+        assert_eq!(out.cols, b.cols, "matmul output cols mismatch");
+        if !accumulate {
+            out.fill_zero();
+        }
+        let n = b.cols;
+        let ranges = even_chunks(self.rows, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, n, &ranges, |chunk, out_rows| {
+            let rows = &ranges[chunk];
+            for i in rows.clone() {
+                let a_row = self.row(i);
+                let local = i - rows.start;
+                let out_row = &mut out_rows[local * n..(local + 1) * n];
+                for (k, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b.data[k * n..(k + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        });
+    }
+
     /// `self × bᵀ`. `self` is `m×k`, `b` is `n×k`, result `m×n`.
     ///
     /// Used in backpropagation for `S = (ÂG)·Wᵀ` without materializing `Wᵀ`.
@@ -170,6 +215,36 @@ impl Dense {
                 out.data[i * b.rows + j] = acc;
             }
         }
+        out
+    }
+
+    /// Pooled [`Dense::matmul_bt`]: output rows split evenly; bitwise
+    /// identical to the serial kernel at any thread count (each output
+    /// element is one dot product, computed by exactly one thread with the
+    /// serial accumulation order).
+    pub fn matmul_bt_pool(&self, b: &Dense, pool: &Pool) -> Dense {
+        if pool.threads() == 1 || self.rows * self.cols * b.rows < crate::ctx::MIN_PARALLEL_WORK {
+            return self.matmul_bt(b);
+        }
+        assert_eq!(self.cols, b.cols, "matmul_bt dimension mismatch");
+        let mut out = Dense::zeros(self.rows, b.rows);
+        let n = b.rows;
+        let ranges = even_chunks(self.rows, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, n, &ranges, |chunk, out_rows| {
+            let rows = &ranges[chunk];
+            for i in rows.clone() {
+                let a_row = self.row(i);
+                let local = i - rows.start;
+                for j in 0..n {
+                    let b_row = b.row(j);
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    out_rows[local * n + j] = acc;
+                }
+            }
+        });
         out
     }
 
@@ -192,6 +267,42 @@ impl Dense {
                 }
             }
         }
+        out
+    }
+
+    /// Pooled [`Dense::matmul_at`], the parameter-gradient kernel `ΔW =
+    /// selfᵀ × b`. Parallelism is over *output* rows (columns of `self`):
+    /// each thread sweeps all input rows `i` in ascending order but only
+    /// touches its own disjoint slice of output columns `j`, so every
+    /// output element accumulates its `i`-terms in exactly the serial order
+    /// — bitwise identical to [`Dense::matmul_at`] at any thread count,
+    /// with no per-thread partial buffers or cross-thread reduction at all.
+    pub fn matmul_at_pool(&self, b: &Dense, pool: &Pool) -> Dense {
+        if pool.threads() == 1 || self.rows * self.cols * b.cols < crate::ctx::MIN_PARALLEL_WORK {
+            return self.matmul_at(b);
+        }
+        assert_eq!(self.rows, b.rows, "matmul_at dimension mismatch");
+        let mut out = Dense::zeros(self.cols, b.cols);
+        let k = b.cols;
+        let ranges = even_chunks(self.cols, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, k, &ranges, |chunk, out_rows| {
+            let js = &ranges[chunk];
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = b.row(i);
+                for j in js.clone() {
+                    let aij = a_row[j];
+                    if aij == 0.0 {
+                        continue;
+                    }
+                    let local = j - js.start;
+                    let out_row = &mut out_rows[local * k..(local + 1) * k];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aij * bv;
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -270,6 +381,21 @@ impl Dense {
         }
     }
 
+    /// Pooled [`Dense::map_inplace`]: rows split evenly across threads.
+    /// Element-wise, so trivially bitwise identical to serial.
+    pub fn map_inplace_pool(&mut self, pool: &Pool, f: impl Fn(f32) -> f32 + Sync) {
+        if pool.threads() == 1 || self.data.len() < crate::ctx::MIN_PARALLEL_WORK {
+            self.map_inplace(f);
+            return;
+        }
+        let ranges = even_chunks(self.rows, pool.threads());
+        pool.run_disjoint_rows(&mut self.data, self.cols, &ranges, |_, slice| {
+            for v in slice {
+                *v = f(*v);
+            }
+        });
+    }
+
     /// A new matrix with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Dense {
         let data = self.data.iter().map(|&v| f(v)).collect();
@@ -278,6 +404,23 @@ impl Dense {
             cols: self.cols,
             data,
         }
+    }
+
+    /// Pooled [`Dense::map`]; bitwise identical to serial for any thread
+    /// count (element-wise, disjoint writes).
+    pub fn map_pool(&self, pool: &Pool, f: impl Fn(f32) -> f32 + Sync) -> Dense {
+        if pool.threads() == 1 || self.data.len() < crate::ctx::MIN_PARALLEL_WORK {
+            return self.map(&f);
+        }
+        let mut out = Dense::zeros(self.rows, self.cols);
+        let ranges = even_chunks(self.rows, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, self.cols, &ranges, |chunk, slice| {
+            let start = ranges[chunk].start * self.cols;
+            for (k, o) in slice.iter_mut().enumerate() {
+                *o = f(self.data[start + k]);
+            }
+        });
+        out
     }
 
     /// Frobenius norm, accumulated in `f64`.

@@ -34,11 +34,13 @@
 //! ```
 
 pub mod csr;
+pub mod ctx;
 pub mod dense;
 pub mod gather;
 pub mod norm;
 
 pub use csr::Csr;
+pub use ctx::ComputeCtx;
 pub use dense::Dense;
 
 /// Relative tolerance comparison of two `f32` values with an absolute floor.

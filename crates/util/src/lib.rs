@@ -13,6 +13,7 @@
 //! | [`json`]    | `serde` + `serde_json`        | `pargcn-bench` result files   |
 //! | [`bench`]   | `criterion`                   | `crates/bench/benches/*`      |
 //! | [`qc`]      | `proptest`                    | randomized invariant tests    |
+//! | [`pool`]    | `rayon` (scoped thread pool)  | `pargcn-matrix` kernels       |
 //!
 //! Everything here is deliberately small: only the API surface the
 //! workspace actually uses, with deterministic, portable behaviour so
@@ -21,5 +22,6 @@
 pub mod bench;
 pub mod channel;
 pub mod json;
+pub mod pool;
 pub mod qc;
 pub mod rng;

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Local mirror of .github/workflows/ci.yml: the same four checks, in the
+# Local mirror of .github/workflows/ci.yml: the same checks, in the
 # same modes, so "scripts/ci.sh passes" means "CI will pass". Exits
 # non-zero on the first failure.
 #
@@ -16,7 +16,11 @@ run() {
 }
 
 run cargo build --release --offline --locked
-run cargo test -q --offline --locked
+# The whole suite twice: serial kernels, then 4 pool threads per rank.
+# Every result is bitwise thread-count-independent, so both must pass
+# identically (see the determinism_threads suites).
+run env PARGCN_THREADS=1 cargo test -q --offline --locked
+run env PARGCN_THREADS=4 cargo test -q --offline --locked
 run cargo fmt --check
 run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 
