@@ -9,10 +9,26 @@
 //! * [`RankCtx::recv`] blocks until a message with matching `(source, tag)`
 //!   arrives, buffering non-matching arrivals (MPI tag matching);
 //! * channel FIFO order per sender gives MPI's non-overtaking guarantee;
-//! * [`RankCtx::allreduce_sum`] combines contributions **in rank order**,
-//!   so results are bitwise deterministic run to run.
+//! * [`RankCtx::allreduce_sum`] and [`RankCtx::broadcast`] run over a
+//!   binomial tree — O(log p) rounds — with a *fixed* combine order
+//!   (children folded in ascending rank order), so results are bitwise
+//!   deterministic run to run.
+//!
+//! # Buffer recycling
+//!
+//! Message payloads are pooled like MPI persistent requests: a sender
+//! [`acquire`](RankCtx::acquire)s a buffer keyed by destination, and the
+//! receiver hands the payload back over a dedicated *return channel* with
+//! [`release`](RankCtx::release) (or implicitly via
+//! [`recv_into`](RankCtx::recv_into)), where it rejoins the sender's
+//! free list. After the pools are warm, no message round-trip — p2p or
+//! collective — touches the heap; `CommCounters::comm_path_allocs`
+//! measures exactly that (see `pargcn_util::allocmeter`) and the
+//! steady-state tests assert it is zero.
 
+use crate::bufpool::{BufPool, BufPoolStats};
 use crate::counters::CommCounters;
+use pargcn_util::allocmeter;
 use pargcn_util::channel::{unbounded, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
@@ -29,6 +45,21 @@ struct Message {
     payload: Vec<f32>,
 }
 
+/// A payload travelling back to the rank that sent it, so its buffer can
+/// rejoin that rank's free list. `from` is the rank doing the returning —
+/// i.e. the *destination* the buffer was originally acquired for.
+struct ReturnMsg {
+    from: u32,
+    buf: Vec<f32>,
+}
+
+/// Lowest set bit of `v` (the binomial-tree round in which virtual rank
+/// `v` talks to its parent); `0` maps to `0`.
+#[inline]
+fn lowbit(v: usize) -> usize {
+    v & v.wrapping_neg()
+}
+
 /// Spawns `p` rank threads and runs `f` on each.
 pub struct Communicator;
 
@@ -43,18 +74,27 @@ impl Communicator {
         assert!(p >= 1, "need at least one rank");
         let mut senders: Vec<Sender<Message>> = Vec::with_capacity(p);
         let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(p);
+        let mut returns: Vec<Sender<ReturnMsg>> = Vec::with_capacity(p);
+        let mut return_rxs: Vec<Option<Receiver<ReturnMsg>>> = Vec::with_capacity(p);
         for _ in 0..p {
             let (s, r) = unbounded();
             senders.push(s);
             receivers.push(Some(r));
+            let (s, r) = unbounded();
+            returns.push(s);
+            return_rxs.push(Some(r));
         }
         let barrier = Arc::new(Barrier::new(p));
         let f = &f;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (rank, recv_slot) in receivers.iter_mut().enumerate() {
+            for (rank, (recv_slot, ret_slot)) in
+                receivers.iter_mut().zip(return_rxs.iter_mut()).enumerate()
+            {
                 let receiver = recv_slot.take().expect("receiver taken once");
+                let return_rx = ret_slot.take().expect("return receiver taken once");
                 let senders = senders.clone();
+                let returns = returns.clone();
                 let barrier = Arc::clone(&barrier);
                 handles.push(scope.spawn(move || {
                     let mut ctx = RankCtx {
@@ -62,6 +102,9 @@ impl Communicator {
                         p,
                         senders,
                         receiver,
+                        returns,
+                        return_rx,
+                        pool: BufPool::new(p),
                         pending: Vec::new(),
                         barrier,
                         counters: CommCounters::default(),
@@ -77,12 +120,17 @@ impl Communicator {
     }
 }
 
-/// Per-rank handle: identity, message endpoints, and counters.
+/// Per-rank handle: identity, message endpoints, payload pool, counters.
 pub struct RankCtx {
     rank: usize,
     p: usize,
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
+    /// Return-channel endpoints: `returns[s]` carries recycled payload
+    /// buffers back to rank `s`'s pool.
+    returns: Vec<Sender<ReturnMsg>>,
+    return_rx: Receiver<ReturnMsg>,
+    pool: BufPool,
     /// Arrived messages not yet claimed by a matching `recv`.
     pending: Vec<Message>,
     barrier: Arc<Barrier>,
@@ -110,6 +158,11 @@ impl RankCtx {
         self.counters.reset();
     }
 
+    /// Snapshot of this rank's payload-pool statistics.
+    pub fn pool_stats(&self) -> BufPoolStats {
+        self.pool.stats()
+    }
+
     /// Credits `seconds` of local (non-blocked) kernel time to this rank.
     ///
     /// The runtime times blocking receives and collectives itself
@@ -120,8 +173,92 @@ impl RankCtx {
         self.counters.compute_seconds += seconds.max(0.0);
     }
 
+    /// Moves every buffer waiting on the return channel back into the pool.
+    fn drain_returns(&mut self) {
+        while let Ok(r) = self.return_rx.try_recv() {
+            self.pool.put(r.from as usize, r.buf);
+        }
+    }
+
+    /// Takes a cleared payload buffer with capacity for `len` floats for a
+    /// message to rank `to`, recycling returned buffers when possible.
+    /// Pair with [`isend`](Self::isend); the receiver sends the buffer
+    /// back via [`release`](Self::release) / [`recv_into`](Self::recv_into).
+    pub fn acquire(&mut self, to: usize, len: usize) -> Vec<f32> {
+        let a0 = allocmeter::current();
+        self.drain_returns();
+        let buf = self.pool.acquire(to, len);
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+        buf
+    }
+
+    /// Hands a received payload buffer back to the rank that sent it
+    /// (`from`), where it rejoins that rank's free list. Self-returns
+    /// (e.g. a root's own gather contribution) go straight to the pool.
+    pub fn release(&mut self, from: usize, buf: Vec<f32>) {
+        let a0 = allocmeter::current();
+        if from == self.rank {
+            self.pool.put(from, buf);
+        } else {
+            // The receiver ignoring returns (rank exited) is fine: the
+            // buffer is simply dropped with the channel.
+            let _ = self.returns[from].send(ReturnMsg {
+                from: self.rank as u32,
+                buf,
+            });
+        }
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+    }
+
+    /// Pre-fills the pool with `count` payload buffers of capacity `len`
+    /// for destination `to`, so steady-state `acquire`s never allocate.
+    pub fn prewarm(&mut self, to: usize, count: usize, len: usize) {
+        self.pool.prewarm(to, count, len);
+    }
+
+    /// Reserves capacity for `msgs` in-flight messages in this rank's
+    /// mailbox, pending queue, and return channel. Queue depth is
+    /// scheduling-dependent (a fast sender can run ahead), so without a
+    /// reservation a container can hit a new high-water mark — and grow —
+    /// in a steady-state epoch under an unlucky interleaving. Callers
+    /// that need the strict zero-allocation contract reserve an epoch's
+    /// worth of messages up front (see `prewarm_comm_pools` in
+    /// `pargcn-core`).
+    pub fn reserve_queues(&mut self, msgs: usize) {
+        self.receiver.reserve(msgs);
+        self.return_rx.reserve(msgs);
+        self.pending.reserve(msgs);
+    }
+
+    /// Pre-fills the pool for this rank's binomial-tree collective
+    /// neighbours (parent and children of the rank-0-rooted allreduce
+    /// tree): `count` buffers of capacity `len` per neighbour.
+    pub fn prewarm_collectives(&mut self, count: usize, len: usize) {
+        if self.p == 1 {
+            return;
+        }
+        if self.rank != 0 {
+            self.pool.prewarm(self.rank - lowbit(self.rank), count, len);
+        }
+        let low = if self.rank == 0 {
+            self.p.next_power_of_two()
+        } else {
+            lowbit(self.rank)
+        };
+        let mut m = low >> 1;
+        while m > 0 {
+            let child = self.rank + m;
+            if child < self.p {
+                self.pool.prewarm(child, count, len);
+            }
+            m >>= 1;
+        }
+    }
+
     /// Non-blocking point-to-point send. Returns immediately; the payload
-    /// is owned by the runtime from here on.
+    /// is owned by the runtime from here on (and, if it came from
+    /// [`acquire`](Self::acquire), eventually returns to this rank's pool
+    /// once the receiver releases it).
     ///
     /// # Panics
     /// Panics on self-sends (local data never travels through the runtime in
@@ -132,6 +269,7 @@ impl RankCtx {
             tag < RESERVED_TAG_BASE,
             "tag {tag} is reserved for collectives"
         );
+        let a0 = allocmeter::current();
         self.counters.sent_messages += 1;
         self.counters.sent_bytes += (payload.len() * 4) as u64;
         self.senders[to]
@@ -141,16 +279,57 @@ impl RankCtx {
                 payload,
             })
             .expect("peer rank hung up");
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
     }
 
     /// Blocking receive of the next message with matching source and tag.
+    /// The returned payload is owned by the caller; hand it back with
+    /// [`release`](Self::release) (or use [`recv_into`](Self::recv_into))
+    /// to keep the sender's pool warm.
     pub fn recv(&mut self, from: usize, tag: u32) -> Vec<f32> {
         let start = Instant::now();
+        let a0 = allocmeter::current();
         let payload = self.recv_inner(from as u32, tag);
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
         self.counters.comm_seconds += start.elapsed().as_secs_f64();
         self.counters.recv_messages += 1;
         self.counters.recv_bytes += (payload.len() * 4) as u64;
         payload
+    }
+
+    /// Blocking receive that copies the payload into `buf` (cleared
+    /// first, capacity reused) and recycles the payload buffer back to
+    /// the sender's pool. With a warm `buf` this allocates nothing.
+    pub fn recv_into(&mut self, from: usize, tag: u32, buf: &mut Vec<f32>) {
+        let start = Instant::now();
+        let a0 = allocmeter::current();
+        let payload = self.recv_inner(from as u32, tag);
+        self.counters.recv_messages += 1;
+        self.counters.recv_bytes += (payload.len() * 4) as u64;
+        buf.clear();
+        buf.extend_from_slice(&payload);
+        self.release_unmetered(from, payload);
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Non-blocking [`recv_into`](Self::recv_into): returns `false` (and
+    /// leaves `buf` untouched) if no matching message has arrived yet.
+    pub fn try_recv_into(&mut self, from: usize, tag: u32, buf: &mut Vec<f32>) -> bool {
+        let a0 = allocmeter::current();
+        let got = match self.try_recv_match(|m| m.from == from as u32 && m.tag == tag) {
+            Some(m) => {
+                self.counters.recv_messages += 1;
+                self.counters.recv_bytes += (m.payload.len() * 4) as u64;
+                buf.clear();
+                buf.extend_from_slice(&m.payload);
+                self.release_unmetered(from, m.payload);
+                true
+            }
+            None => false,
+        };
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+        got
     }
 
     /// Non-blocking probe-and-receive: returns a matching message if one has
@@ -158,21 +337,68 @@ impl RankCtx {
     /// lands first (Algorithm 1 lines 7–9 iterate the receive set in any
     /// completion order).
     pub fn try_recv(&mut self, from: usize, tag: u32) -> Option<Vec<f32>> {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.from == from as u32 && m.tag == tag)
-        {
-            let m = self.pending.swap_remove(pos);
-            self.counters.recv_messages += 1;
-            self.counters.recv_bytes += (m.payload.len() * 4) as u64;
-            return Some(m.payload);
-        }
-        while let Ok(m) = self.receiver.try_recv() {
-            if m.from == from as u32 && m.tag == tag {
+        let a0 = allocmeter::current();
+        let got = self
+            .try_recv_match(|m| m.from == from as u32 && m.tag == tag)
+            .map(|m| {
                 self.counters.recv_messages += 1;
                 self.counters.recv_bytes += (m.payload.len() * 4) as u64;
-                return Some(m.payload);
+                m.payload
+            });
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+        got
+    }
+
+    /// Non-blocking receive of the next message with tag `tag` from *any*
+    /// source, returning `(source, payload)`. One mailbox scan serves a
+    /// whole receive set — the trainer's exchange drains with this instead
+    /// of probing every peer individually.
+    pub fn try_recv_any(&mut self, tag: u32) -> Option<(usize, Vec<f32>)> {
+        let a0 = allocmeter::current();
+        let got = self.try_recv_match(|m| m.tag == tag).map(|m| {
+            self.counters.recv_messages += 1;
+            self.counters.recv_bytes += (m.payload.len() * 4) as u64;
+            (m.from as usize, m.payload)
+        });
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+        got
+    }
+
+    /// Blocking receive of the next message with tag `tag` from any
+    /// source. The blocking complement of [`try_recv_any`](Self::try_recv_any).
+    pub fn recv_any(&mut self, tag: u32) -> (usize, Vec<f32>) {
+        let start = Instant::now();
+        let a0 = allocmeter::current();
+        let m = if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
+            // `remove`, not `swap_remove`: `pending` is kept in arrival
+            // order so two same-(source, tag) messages are claimed in the
+            // order they were sent (the MPI non-overtaking guarantee).
+            self.pending.remove(pos)
+        } else {
+            loop {
+                let m = self.receiver.recv().expect("peer rank hung up");
+                if m.tag == tag {
+                    break m;
+                }
+                self.pending.push(m);
+            }
+        };
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
+        self.counters.comm_seconds += start.elapsed().as_secs_f64();
+        self.counters.recv_messages += 1;
+        self.counters.recv_bytes += (m.payload.len() * 4) as u64;
+        (m.from as usize, m.payload)
+    }
+
+    /// First pending or already-delivered message satisfying `matches`.
+    fn try_recv_match(&mut self, matches: impl Fn(&Message) -> bool) -> Option<Message> {
+        if let Some(pos) = self.pending.iter().position(&matches) {
+            // Order-preserving removal — see `recv_any`.
+            return Some(self.pending.remove(pos));
+        }
+        while let Ok(m) = self.receiver.try_recv() {
+            if matches(&m) {
+                return Some(m);
             }
             self.pending.push(m);
         }
@@ -185,7 +411,8 @@ impl RankCtx {
             .iter()
             .position(|m| m.from == from && m.tag == tag)
         {
-            return self.pending.swap_remove(pos).payload;
+            // Order-preserving removal — see `recv_any`.
+            return self.pending.remove(pos).payload;
         }
         loop {
             let m = self.receiver.recv().expect("peer rank hung up");
@@ -194,6 +421,31 @@ impl RankCtx {
             }
             self.pending.push(m);
         }
+    }
+
+    /// [`release`](Self::release) without the alloc metering (for use
+    /// inside already-metered spans).
+    fn release_unmetered(&mut self, from: usize, buf: Vec<f32>) {
+        if from == self.rank {
+            self.pool.put(from, buf);
+        } else {
+            let _ = self.returns[from].send(ReturnMsg {
+                from: self.rank as u32,
+                buf,
+            });
+        }
+    }
+
+    /// Pool-backed internal send: copies `data` into a recycled buffer
+    /// bound for `to`. Collectives route every hop through this, so their
+    /// steady state is allocation-free too.
+    fn send_pooled(&mut self, to: usize, tag: u32, data: &[f32]) {
+        self.drain_returns();
+        let mut payload = self.pool.acquire(to, data.len());
+        payload.extend_from_slice(data);
+        self.send_internal(to, tag, payload);
+        self.counters.collective_messages += 1;
+        self.counters.collective_bytes += (data.len() * 4) as u64;
     }
 
     /// Synchronizes all ranks.
@@ -205,80 +457,116 @@ impl RankCtx {
 
     /// Allreduce-sum over `buf` (Algorithm 2 line 13: `ΔW` aggregation).
     ///
-    /// Rank 0 gathers contributions, sums them **in rank order** (bitwise
-    /// deterministic), and broadcasts the result. Costed as 2(p−1) messages
-    /// at the root, like a flat-tree MPI implementation; the cost *model*
-    /// prices allreduce separately as a log-tree (costmodel::allreduce_time).
+    /// Runs over the binomial tree rooted at rank 0 in O(log p) rounds:
+    /// a reduce up the tree followed by a broadcast of the result down the
+    /// same edges. Every node folds its children **in ascending rank
+    /// order** — the tree shape and combine order are fixed, so results
+    /// are bitwise deterministic run to run (`costmodel::allreduce_time`
+    /// prices exactly this shape). Note the fold order differs from a
+    /// flat rank-order sum: 8-rank example, rank 0 folds 1, 2 (which
+    /// already folded 3), 4 (which folded 5 and 6+7).
     pub fn allreduce_sum(&mut self, buf: &mut [f32]) {
         let start = Instant::now();
-        let bytes = (buf.len() * 4) as u64;
+        let a0 = allocmeter::current();
         if self.p > 1 {
-            if self.rank == 0 {
-                for from in 1..self.p {
-                    let contrib = self.recv_inner(from as u32, TAG_ALLREDUCE);
+            // Reduce toward rank 0: in round `mask = 2^j`, ranks whose j
+            // low bits are clear either fold child `rank + mask` or send
+            // up to `rank − mask` and leave the loop.
+            let mut mask = 1usize;
+            while mask < self.p {
+                if self.rank & mask != 0 {
+                    let parent = self.rank - mask;
+                    self.send_pooled(parent, TAG_ALLREDUCE, buf);
+                    break;
+                }
+                let child = self.rank + mask;
+                if child < self.p {
+                    let contrib = self.recv_inner(child as u32, TAG_ALLREDUCE);
                     assert_eq!(contrib.len(), buf.len(), "allreduce length mismatch");
                     for (b, &c) in buf.iter_mut().zip(&contrib) {
                         *b += c;
                     }
-                    self.counters.collective_messages += 1;
-                    self.counters.collective_bytes += bytes;
+                    self.release_unmetered(child, contrib);
                 }
-                for to in 1..self.p {
-                    self.send_internal(to, TAG_ALLREDUCE, buf.to_vec());
-                    self.counters.collective_messages += 1;
-                    self.counters.collective_bytes += bytes;
-                }
-            } else {
-                self.send_internal(0, TAG_ALLREDUCE, buf.to_vec());
-                let result = self.recv_inner(0, TAG_ALLREDUCE);
-                buf.copy_from_slice(&result);
-                self.counters.collective_messages += 1;
-                self.counters.collective_bytes += bytes;
+                mask <<= 1;
             }
+            // Broadcast the result back down the same tree.
+            if self.rank != 0 {
+                let parent = self.rank - lowbit(self.rank);
+                let res = self.recv_inner(parent as u32, TAG_ALLREDUCE);
+                buf.copy_from_slice(&res);
+                self.release_unmetered(parent, res);
+            }
+            self.tree_fanout(0, TAG_ALLREDUCE, buf);
         }
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
         self.counters.comm_seconds += start.elapsed().as_secs_f64();
     }
 
     /// Broadcast from `root`: on the root `buf` is the source, elsewhere it
-    /// is overwritten. Used by the CAGNET baseline's turn-wise broadcasts.
+    /// is overwritten (capacity reused — a warm caller buffer means no
+    /// allocation). Binomial tree, O(log p) rounds; used by the CAGNET
+    /// baseline's turn-wise broadcasts.
     pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>) {
         let start = Instant::now();
+        let a0 = allocmeter::current();
         if self.p > 1 {
-            if self.rank == root {
-                for to in 0..self.p {
-                    if to != root {
-                        self.send_internal(to, TAG_BROADCAST, buf.clone());
-                    }
-                }
-                self.counters.collective_messages += (self.p - 1) as u64;
-                self.counters.collective_bytes += ((self.p - 1) * buf.len() * 4) as u64;
-            } else {
-                *buf = self.recv_inner(root as u32, TAG_BROADCAST);
-                self.counters.collective_messages += 1;
-                self.counters.collective_bytes += (buf.len() * 4) as u64;
+            let vrank = (self.rank + self.p - root) % self.p;
+            if vrank != 0 {
+                let parent = (vrank - lowbit(vrank) + root) % self.p;
+                let res = self.recv_inner(parent as u32, TAG_BROADCAST);
+                buf.clear();
+                buf.extend_from_slice(&res);
+                self.release_unmetered(parent, res);
             }
+            self.tree_fanout(root, TAG_BROADCAST, buf);
         }
+        self.counters.comm_path_allocs += allocmeter::current() - a0;
         self.counters.comm_seconds += start.elapsed().as_secs_f64();
     }
 
+    /// Sends `data` to this rank's children in the binomial tree rooted at
+    /// `root`, biggest subtree first (the log-depth schedule).
+    fn tree_fanout(&mut self, root: usize, tag: u32, data: &[f32]) {
+        let vrank = (self.rank + self.p - root) % self.p;
+        let low = if vrank == 0 {
+            self.p.next_power_of_two()
+        } else {
+            lowbit(vrank)
+        };
+        let mut m = low >> 1;
+        while m > 0 {
+            let child = vrank + m;
+            if child < self.p {
+                self.send_pooled((child + root) % self.p, tag, data);
+            }
+            m >>= 1;
+        }
+    }
+
     /// Gathers each rank's buffer to `root`, returning `Some(vec-of-bufs)`
-    /// in rank order at the root and `None` elsewhere.
+    /// in rank order at the root and `None` elsewhere. Payload buffers
+    /// become the result, so this path allocates by design (it is used
+    /// once per run, not per epoch); messages are counted at the sender
+    /// like every other collective.
     pub fn gather(&mut self, root: usize, buf: Vec<f32>) -> Option<Vec<Vec<f32>>> {
         let start = Instant::now();
         let out = if self.rank == root {
             let mut all: Vec<Vec<f32>> = Vec::with_capacity(self.p);
             for from in 0..self.p {
                 if from == root {
-                    all.push(buf.clone());
+                    // Reuse the sentinel below to keep `all` in rank order
+                    // without cloning the root's own contribution.
+                    all.push(Vec::new());
                 } else {
-                    let m = self.recv_inner(from as u32, TAG_GATHER);
-                    self.counters.collective_messages += 1;
-                    self.counters.collective_bytes += (m.len() * 4) as u64;
-                    all.push(m);
+                    all.push(self.recv_inner(from as u32, TAG_GATHER));
                 }
             }
+            all[root] = buf;
             Some(all)
         } else {
+            self.counters.collective_messages += 1;
+            self.counters.collective_bytes += (buf.len() * 4) as u64;
             self.send_internal(root, TAG_GATHER, buf);
             None
         };
@@ -332,19 +620,25 @@ mod tests {
     }
 
     #[test]
-    fn allreduce_sums_in_rank_order() {
-        let results = Communicator::run(5, |ctx| {
-            let mut buf = vec![ctx.rank() as f32, 1.0];
-            ctx.allreduce_sum(&mut buf);
-            buf
-        });
-        for r in &results {
-            assert_eq!(r, &vec![10.0, 5.0]);
+    fn allreduce_tree_sums_exactly() {
+        // Integer-valued f32s sum exactly under any association, so the
+        // binomial-tree fold must reproduce the arithmetic total.
+        for p in [2usize, 3, 5, 8, 13] {
+            let results = Communicator::run(p, |ctx| {
+                let mut buf = vec![ctx.rank() as f32, 1.0];
+                ctx.allreduce_sum(&mut buf);
+                buf
+            });
+            let total = (p * (p - 1) / 2) as f32;
+            for r in &results {
+                assert_eq!(r, &vec![total, p as f32]);
+            }
         }
     }
 
     #[test]
     fn broadcast_delivers_to_all() {
+        // Root 1 exercises the virtual-rank rotation of the tree.
         let results = Communicator::run(3, |ctx| {
             let mut buf = if ctx.rank() == 1 {
                 vec![3.5, 4.5]
@@ -356,6 +650,26 @@ mod tests {
         });
         for r in &results {
             assert_eq!(r, &vec![3.5, 4.5]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [2usize, 5, 8] {
+            for root in 0..p {
+                let results = Communicator::run(p, |ctx| {
+                    let mut buf = if ctx.rank() == root {
+                        vec![root as f32, 42.0]
+                    } else {
+                        Vec::new()
+                    };
+                    ctx.broadcast(root, &mut buf);
+                    buf
+                });
+                for r in &results {
+                    assert_eq!(r, &vec![root as f32, 42.0]);
+                }
+            }
         }
     }
 
@@ -384,6 +698,35 @@ mod tests {
     }
 
     #[test]
+    fn counters_count_tree_messages_at_the_sender() {
+        // Binomial-tree allreduce: p−1 reduce hops + p−1 broadcast hops,
+        // each counted once (by its sender), so the merged total is
+        // exactly the number of messages on the wire.
+        for p in [2usize, 5, 8] {
+            let results = Communicator::run(p, |ctx| {
+                let mut buf = vec![1.0f32; 3];
+                ctx.allreduce_sum(&mut buf);
+                ctx.counters().clone()
+            });
+            let merged = CommCounters::merged(&results);
+            assert_eq!(merged.collective_messages, 2 * (p as u64 - 1));
+            assert_eq!(merged.collective_bytes, 2 * (p as u64 - 1) * 12);
+        }
+        let results = Communicator::run(6, |ctx| {
+            let mut buf = if ctx.rank() == 2 {
+                vec![7.0; 4]
+            } else {
+                vec![]
+            };
+            ctx.broadcast(2, &mut buf);
+            ctx.counters().clone()
+        });
+        let merged = CommCounters::merged(&results);
+        assert_eq!(merged.collective_messages, 5);
+        assert_eq!(merged.collective_bytes, 5 * 16);
+    }
+
+    #[test]
     fn try_recv_returns_none_before_arrival() {
         Communicator::run(2, |ctx| {
             if ctx.rank() == 1 {
@@ -404,6 +747,88 @@ mod tests {
                 }
             }
             ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn recv_any_matches_by_tag_only() {
+        let results = Communicator::run(3, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(2, 5, vec![10.0]);
+                0.0
+            } else if ctx.rank() == 1 {
+                ctx.isend(2, 5, vec![20.0]);
+                0.0
+            } else {
+                let (f1, p1) = ctx.recv_any(5);
+                let (f2, p2) = ctx.recv_any(5);
+                assert_ne!(f1, f2);
+                p1[0] + p2[0]
+            }
+        });
+        assert_eq!(results[2], 30.0);
+    }
+
+    #[test]
+    fn try_recv_any_leaves_other_tags_pending() {
+        Communicator::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.isend(1, 8, vec![1.0]);
+                ctx.isend(1, 9, vec![2.0]);
+            } else {
+                // Wait for the tag-9 message while tag 8 sits in front of
+                // it: try_recv_any must buffer, not drop, the mismatch.
+                loop {
+                    if let Some((from, p)) = ctx.try_recv_any(9) {
+                        assert_eq!(from, 0);
+                        assert_eq!(p, vec![2.0]);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                assert_eq!(ctx.recv(0, 8), vec![1.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_into_reuses_caller_capacity() {
+        Communicator::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..4u32 {
+                    ctx.isend(1, i, vec![i as f32; 8]);
+                }
+            } else {
+                let mut buf: Vec<f32> = Vec::with_capacity(8);
+                let cap_ptr = buf.as_ptr();
+                for i in 0..4u32 {
+                    ctx.recv_into(0, i, &mut buf);
+                    assert_eq!(buf, vec![i as f32; 8]);
+                }
+                // Same backing storage the whole way through.
+                assert_eq!(buf.as_ptr(), cap_ptr);
+            }
+        });
+    }
+
+    #[test]
+    fn released_payloads_return_to_the_sender_pool() {
+        Communicator::run(2, |ctx| {
+            let other = 1 - ctx.rank();
+            // Round 0 allocates; after the payload travels there and back,
+            // round 2's acquire must be served from the pool.
+            for round in 0..4u32 {
+                let mut payload = ctx.acquire(other, 16);
+                payload.extend_from_slice(&[round as f32; 16]);
+                ctx.isend(other, round, payload);
+                let mut scratch = Vec::new();
+                ctx.recv_into(other, round, &mut scratch);
+                assert_eq!(scratch, vec![round as f32; 16]);
+                ctx.barrier(); // make the return visible before next acquire
+            }
+            let stats = ctx.pool_stats();
+            assert_eq!(stats.acquires, 4);
+            assert!(stats.hits >= 2, "pool should serve later rounds: {stats:?}");
         });
     }
 

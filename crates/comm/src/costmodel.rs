@@ -103,6 +103,9 @@ impl MachineProfile {
     }
 
     /// Log-tree allreduce time for a buffer of `bytes` over `p` ranks.
+    /// Since the binomial-tree rewrite of `RankCtx::allreduce_sum` this is
+    /// also the shape the runtime executes (⌈log₂ p⌉ rounds, 2(p−1)
+    /// messages), not just a model of an idealized MPI implementation.
     pub fn allreduce_time(&self, bytes: u64, p: usize) -> f64 {
         if p <= 1 {
             return 0.0;
@@ -111,7 +114,9 @@ impl MachineProfile {
         rounds * (self.alpha + self.beta * bytes as f64)
     }
 
-    /// Log-tree broadcast time for `bytes` over `p` ranks.
+    /// Log-tree broadcast time for `bytes` over `p` ranks (matches the
+    /// runtime's binomial-tree `RankCtx::broadcast`: p−1 messages in
+    /// ⌈log₂ p⌉ rounds).
     pub fn broadcast_time(&self, bytes: u64, p: usize) -> f64 {
         if p <= 1 {
             return 0.0;

@@ -19,6 +19,14 @@ pub struct CommCounters {
     pub collective_messages: u64,
     /// Bytes attributed to collectives.
     pub collective_bytes: u64,
+    /// Heap allocations performed *inside* the runtime's hot-path methods
+    /// (`acquire`/`isend`/`recv*`/`release`/`allreduce_sum`/`broadcast`)
+    /// on this rank's thread. Only counts when
+    /// `pargcn_util::allocmeter::CountingAllocator` is the installed
+    /// global allocator (test binaries opt in); always 0 otherwise. The
+    /// steady-state contract — warm pools make every message round-trip
+    /// allocation-free — is asserted on this field.
+    pub comm_path_allocs: u64,
     /// Wall seconds this rank spent blocked in receives and collectives.
     pub comm_seconds: f64,
     /// Wall seconds this rank spent *not* blocked on communication — local
@@ -41,6 +49,7 @@ impl CommCounters {
             out.recv_bytes += c.recv_bytes;
             out.collective_messages += c.collective_messages;
             out.collective_bytes += c.collective_bytes;
+            out.comm_path_allocs += c.comm_path_allocs;
             out.comm_seconds += c.comm_seconds;
             out.compute_seconds += c.compute_seconds;
         }

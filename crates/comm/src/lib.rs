@@ -5,9 +5,12 @@
 //! rank is an OS thread and messages travel over lock-free channels, with
 //! the same semantics the algorithm needs: ranks, tags, **non-blocking
 //! sends** ([`RankCtx::isend`]), blocking tag/source-matched receives
-//! ([`RankCtx::recv`]), and the collectives (allreduce, broadcast,
-//! barrier). Every byte and message is counted per rank exactly as an MPI
-//! profiler would ([`counters::CommCounters`]).
+//! ([`RankCtx::recv`]), and the collectives (binomial-tree allreduce and
+//! broadcast, barrier). Every byte and message is counted per rank exactly
+//! as an MPI profiler would ([`counters::CommCounters`]). Payload buffers
+//! are recycled through per-rank pools ([`bufpool::BufPool`]) with return
+//! channels — MPI persistent requests in spirit — so the steady-state
+//! message path performs no heap allocation.
 //!
 //! Wall-clock time at 512 ranks cannot be measured on one machine, so the
 //! [`costmodel`] composes the *exact* measured per-rank computation (FLOPs)
@@ -30,10 +33,12 @@
 //! assert_eq!(results, vec![6.0; 4]); // 0+1+2+3 on every rank
 //! ```
 
+pub mod bufpool;
 pub mod comm;
 pub mod costmodel;
 pub mod counters;
 
+pub use bufpool::{BufPool, BufPoolStats};
 pub use comm::{Communicator, RankCtx};
 pub use costmodel::MachineProfile;
 pub use counters::CommCounters;

@@ -38,6 +38,25 @@ impl Activation {
         }
     }
 
+    /// [`Activation::apply`] into a caller-provided `out` (same shape,
+    /// never reallocates) — the form the persistent forward workspace
+    /// uses; pooled, bitwise identical to serial.
+    pub fn apply_into_pool(&self, z: &Dense, out: &mut Dense, pool: &Pool) {
+        match self {
+            Activation::Relu => z.map_into_pool(out, pool, |v| v.max(0.0)),
+            Activation::Identity => out.copy_from(z),
+        }
+    }
+
+    /// [`Activation::derivative`] into a caller-provided `out`; pooled,
+    /// bitwise identical to serial.
+    pub fn derivative_into_pool(&self, z: &Dense, out: &mut Dense, pool: &Pool) {
+        match self {
+            Activation::Relu => z.map_into_pool(out, pool, |v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Identity => z.map_into_pool(out, pool, |_| 1.0),
+        }
+    }
+
     /// Pooled [`Activation::derivative`]; bitwise identical to serial.
     pub fn derivative_pool(&self, z: &Dense, pool: &Pool) -> Dense {
         match self {

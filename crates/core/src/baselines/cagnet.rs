@@ -81,6 +81,9 @@ impl CagnetPlan {
 }
 
 /// One broadcast-based SpMM sweep: every rank ends with its block of `A·X`.
+/// `scratch` holds the stage payload and is reused across stages, layers
+/// and epochs — after it has grown to the largest block, the sweep's only
+/// allocation is the output matrix.
 fn spmm_broadcast(
     ctx: &mut RankCtx,
     plan: &CagnetPlan,
@@ -88,18 +91,19 @@ fn spmm_broadcast(
     x_local: &Dense,
     d: usize,
     pool: &Pool,
+    scratch: &mut Vec<f32>,
 ) -> Dense {
     let mut ax = Dense::zeros(rank_plan.local_rows.len(), d);
     for b in 0..plan.p {
         let rows_b = plan.ranks[b].local_rows.len();
-        let mut buf = if ctx.rank() == b {
-            x_local.data().to_vec()
-        } else {
-            Vec::new()
-        };
-        ctx.broadcast(b, &mut buf);
-        let xb = Dense::from_vec(rows_b, d, buf);
+        scratch.clear();
+        if ctx.rank() == b {
+            scratch.extend_from_slice(x_local.data());
+        }
+        ctx.broadcast(b, scratch);
+        let xb = Dense::from_vec(rows_b, d, std::mem::take(scratch));
         rank_plan.blocks[b].spmm_into_pool(&xb, &mut ax, true, pool);
+        *scratch = xb.into_vec();
     }
     ax
 }
@@ -185,7 +189,11 @@ pub fn train_full_batch_threads(
         let mut losses = Vec::with_capacity(epochs);
         let start = Instant::now();
 
-        let forward = |ctx: &mut RankCtx, params: &Params| {
+        // Persistent broadcast payload, shared by every stage of every
+        // sweep in both directions for the whole run.
+        let mut bcast = Vec::new();
+
+        let forward = |ctx: &mut RankCtx, params: &Params, bcast: &mut Vec<f32>| {
             let pool = cctx.pool();
             let mut z = Vec::with_capacity(layers);
             let mut h = vec![h_local.clone()];
@@ -197,6 +205,7 @@ pub fn train_full_batch_threads(
                     &h[k - 1],
                     config.dims[k - 1],
                     pool,
+                    bcast,
                 );
                 let zk = ah.matmul_pool(&params.weights[k - 1], pool);
                 h.push(config.activation(k).apply_pool(&zk, pool));
@@ -206,7 +215,7 @@ pub fn train_full_batch_threads(
         };
 
         for _ in 0..epochs {
-            let (z, h) = forward(ctx, &params);
+            let (z, h) = forward(ctx, &params, &mut bcast);
             let probs = loss::softmax_rows(&h[layers]);
             let mut loss_local = 0.0f64;
             let mut grad = Dense::zeros(h[layers].rows(), h[layers].cols());
@@ -236,7 +245,15 @@ pub fn train_full_batch_threads(
                     .derivative_pool(&z[layers - 1], pool),
             );
             for k in (1..=layers).rev() {
-                let ag = spmm_broadcast(ctx, &plan_b, &plan_b.ranks[m], &g, config.dims[k], pool);
+                let ag = spmm_broadcast(
+                    ctx,
+                    &plan_b,
+                    &plan_b.ranks[m],
+                    &g,
+                    config.dims[k],
+                    pool,
+                    &mut bcast,
+                );
                 let mut delta_w = h[k - 1].matmul_at_pool(&ag, pool);
                 let s = if k > 1 {
                     Some(ag.matmul_bt_pool(&params.weights[k - 1], pool))
@@ -250,7 +267,7 @@ pub fn train_full_batch_threads(
                 }
             }
         }
-        let (_, h) = forward(ctx, &params);
+        let (_, h) = forward(ctx, &params, &mut bcast);
         ctx.add_compute_seconds(start.elapsed().as_secs_f64() - ctx.counters().comm_seconds);
         R {
             pred: h.into_iter().last().unwrap(),
@@ -367,6 +384,7 @@ mod tests {
                 &locals[ctx.rank()],
                 4,
                 cctx.pool(),
+                &mut Vec::new(),
             )
         });
         for (rp, res) in plan.ranks.iter().zip(&results) {

@@ -9,45 +9,70 @@
 //!    `ΔWᵏₘ = (H^{k-1}ₘ)ᵀ(Â'Gᵏ)ₘ` (lines 7, 10–12) — both pure local DMMs
 //!    because `(Â'Gᵏ)ₘ` was just computed and `H` is conformably
 //!    partitioned;
-//! 3. allreduce-sums `ΔWᵏ` (line 13) and applies the SGD update locally on
-//!    the replicated `Wᵏ` (line 14) — every rank computes the identical
-//!    update, keeping the replicas in lock-step;
+//! 3. allreduce-sums `ΔWᵏ` (line 13, binomial tree) and applies the SGD
+//!    update locally on the replicated `Wᵏ` (line 14) — every rank computes
+//!    the identical update, keeping the replicas in lock-step;
 //! 4. propagates `G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1})` (line 11).
+//!
+//! The forward intermediates are read from, and the gradient flow written
+//! to, the persistent [`EpochWorkspace`] — no per-epoch matrix allocation
+//! apart from the (small, `d×d`) `ΔW` partials.
 
-use super::{feedforward, LocalForward, RankState, TAG_BWD};
-use pargcn_comm::RankCtx;
-use pargcn_matrix::Dense;
+use super::workspace::EpochWorkspace;
+use super::{feedforward, RankState, TAG_BWD};
 
 /// Runs backpropagation from the local output-layer loss gradient
-/// `∇_{H^L} Jₘ`, updating `st.params` in place (identically on all ranks).
-/// Returns the local gradient flow for inspection by tests.
-pub fn run(ctx: &mut RankCtx, st: &mut RankState<'_>, fwd: &LocalForward, grad_hl_local: &Dense) {
+/// `∇_{H^L} Jₘ` (in `ws.grad`, filled by the loss), updating `st.params`
+/// in place (identically on all ranks).
+pub fn run(ctx: &mut pargcn_comm::RankCtx, st: &mut RankState<'_>, ws: &mut EpochWorkspace) {
     // Cheap Arc clone so the pool stays usable across `&mut st` updates.
     let cctx = st.ctx.clone();
     let pool = cctx.pool();
     let layers = st.config.layers();
-    // Line 2: G^L = ∇_{H^L} J ⊙ σ'(Z^L).
-    let mut g = grad_hl_local.hadamard(
-        &st.config
-            .activation(layers)
-            .derivative_pool(&fwd.z[layers - 1], pool),
+
+    // Line 2: G^L = ∇_{H^L} J ⊙ σ'(Z^L), built in place: σ' lands in the
+    // persistent G^L buffer, then the loss gradient multiplies on.
+    st.config.activation(layers).derivative_into_pool(
+        &ws.fwd.z[layers - 1],
+        &mut ws.g[layers - 1],
+        pool,
     );
+    ws.g[layers - 1].hadamard_assign(&ws.grad);
 
     for k in (1..=layers).rev() {
+        let EpochWorkspace {
+            exchange,
+            fwd,
+            ax_b,
+            g,
+            ..
+        } = ws;
+
         // Lines 4–10: the point-to-point exchange computing (Â'Gᵏ)ₘ.
-        let ag = feedforward::spmm_exchange_with_plan(ctx, st.plan_b, &g, TAG_BWD + k as u32, pool);
+        feedforward::spmm_exchange_into(
+            ctx,
+            st.plan_b,
+            &g[k - 1],
+            TAG_BWD + k as u32,
+            pool,
+            exchange,
+            &mut ax_b[k - 1],
+        );
+        let ag = &ax_b[k - 1];
 
-        // Line 12: local partial ΔWᵏₘ = (H^{k-1}ₘ)ᵀ (Â'Gᵏ)ₘ.
-        let mut delta_w = fwd.h[k - 1].matmul_at_pool(&ag, pool);
+        // Line 12: local partial ΔWᵏₘ = (H^{k-1}ₘ)ᵀ (Â'Gᵏ)ₘ. `H⁰` lives in
+        // the rank state; later inputs in the forward workspace.
+        let h_in = if k == 1 { st.h0 } else { &fwd.h[k - 2] };
+        let mut delta_w = h_in.matmul_at_pool(ag, pool);
 
-        // Sᵏ must use the *pre-update* Wᵏ (line 7 precedes line 14).
-        let s = if k > 1 {
-            Some(ag.matmul_bt_pool(&st.params.weights[k - 1], pool))
-        } else {
-            None
-        };
+        // Sᵏ must use the *pre-update* Wᵏ (line 7 precedes line 14); it
+        // overwrites G^{k-1}'s buffer, which is dead from here on.
+        if k > 1 {
+            ag.matmul_bt_into_pool(&st.params.weights[k - 1], &mut g[k - 2], pool);
+        }
 
-        // Line 13: ΔWᵏ = allreduce-sum(ΔWᵏₘ) — deterministic rank-order sum.
+        // Line 13: ΔWᵏ = allreduce-sum(ΔWᵏₘ) — binomial tree with a fixed
+        // fold order, bitwise deterministic.
         ctx.allreduce_sum(delta_w.data_mut());
 
         // Line 14: replicated parameter update (SGD or Adam; the optimizer
@@ -59,13 +84,13 @@ pub fn run(ctx: &mut RankCtx, st: &mut RankState<'_>, fwd: &LocalForward, grad_h
             st.config.learning_rate,
         );
 
-        // Line 11: G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1}).
-        if let Some(s) = s {
-            g = s.hadamard(
-                &st.config
-                    .activation(k - 1)
-                    .derivative_pool(&fwd.z[k - 2], pool),
-            );
+        // Line 11: G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1}), finished in place.
+        if k > 1 {
+            let deriv_scratch = &mut ws.ax_b[k - 2];
+            st.config
+                .activation(k - 1)
+                .derivative_into_pool(&ws.fwd.z[k - 2], deriv_scratch, pool);
+            ws.g[k - 2].hadamard_assign(deriv_scratch);
         }
     }
     st.opt_state.advance();

@@ -3,74 +3,165 @@
 //! Per layer `k`, each rank:
 //!
 //! 1. for every selector `Xₘₙ ∈ Sₘ`, gathers the needed local `H^{k-1}`
-//!    rows (`Xₘₙ ⊗ H`, here a row gather) and posts a **non-blocking send**
-//!    to `Pₙ` (lines 3–5);
+//!    rows (`Xₘₙ ⊗ H`, here a row gather) into a pooled payload buffer
+//!    and posts a **non-blocking send** to `Pₙ` (lines 3–5);
 //! 2. multiplies its diagonal block against the local feature block
 //!    *without waiting* (line 6 — the overlap);
-//! 3. receives each peer's rows (any completion order, via `try_recv`
-//!    draining) and accumulates the off-diagonal products (lines 7–9);
+//! 3. receives each peer's rows (any completion order, one mailbox drain
+//!    per pass) and accumulates the off-diagonal products (lines 7–9),
+//!    releasing every payload back to its sender's pool;
 //! 4. applies the replicated `Wᵏ` (pure local DMM) and the activation
 //!    (line 10).
 //!
 //! One deviation from the paper's literal pseudocode: lines 6/9 write
 //! `(AₘH)Wᵏ` per contribution; we accumulate `AₘH` first and apply `Wᵏ`
 //! once — algebraically identical (distributivity) and fewer DMM FLOPs.
+//!
+//! All layer outputs land in the persistent [`EpochWorkspace`]; a
+//! steady-state forward pass allocates nothing on the comm path.
 
-use super::{LocalForward, RankState, TAG_FWD};
+use super::workspace::{EpochWorkspace, ExchangeScratch};
+use super::{RankState, TAG_FWD};
 use crate::model::LayerOrder;
 use pargcn_comm::RankCtx;
 use pargcn_matrix::{gather, Dense};
 use pargcn_util::pool::Pool;
 
-/// Runs the full feedforward pass, returning local intermediates. Local
-/// kernels (SpMM/DMM/activation) run on the rank's thread pool.
-pub fn run(ctx: &mut RankCtx, st: &RankState<'_>) -> LocalForward {
+/// Runs the full feedforward pass into `ws.fwd` (`Z¹…Z^L`, `H¹…H^L`).
+/// Local kernels (SpMM/DMM/activation) run on the rank's thread pool.
+pub fn run(ctx: &mut RankCtx, st: &RankState<'_>, ws: &mut EpochWorkspace) {
     let pool = st.ctx.pool();
     let layers = st.config.layers();
-    let mut z = Vec::with_capacity(layers);
-    let mut h = Vec::with_capacity(layers + 1);
-    h.push(st.h0.clone());
     for k in 1..=layers {
         let w = &st.params.weights[k - 1];
-        let zk = match st.config.order {
+        let tag = TAG_FWD + k as u32;
+        let EpochWorkspace {
+            exchange,
+            fwd,
+            ax_f,
+            hw,
+            ..
+        } = ws;
+        let h_prev: &Dense = if k == 1 { st.h0 } else { &fwd.h[k - 2] };
+        match st.config.order {
             LayerOrder::SpmmFirst => {
-                let ah = spmm_exchange(ctx, st, &h[k - 1], TAG_FWD + k as u32);
-                ah.matmul_pool(w, pool)
+                let ax = &mut ax_f[k - 1];
+                spmm_exchange_into(ctx, st.plan_f, h_prev, tag, pool, exchange, ax);
+                ax.matmul_into_pool(w, &mut fwd.z[k - 1], false, pool);
             }
             LayerOrder::DmmFirst => {
                 // §4.4: transform locally first, then aggregate with the
                 // *same* communication pattern (messages carry d_out-wide
-                // rows instead of d_in-wide ones).
-                let hw = h[k - 1].matmul_pool(w, pool);
-                spmm_exchange(ctx, st, &hw, TAG_FWD + k as u32)
+                // rows instead of d_in-wide ones). The aggregate IS `Zᵏ`,
+                // so the exchange accumulates straight into it.
+                h_prev.matmul_into_pool(w, &mut hw[k - 1], false, pool);
+                spmm_exchange_into(
+                    ctx,
+                    st.plan_f,
+                    &hw[k - 1],
+                    tag,
+                    pool,
+                    exchange,
+                    &mut fwd.z[k - 1],
+                );
             }
-        };
-        let hk = st.config.activation(k).apply_pool(&zk, pool);
-        z.push(zk);
-        h.push(hk);
+        }
+        st.config
+            .activation(k)
+            .apply_into_pool(&fwd.z[k - 1], &mut fwd.h[k - 1], pool);
     }
-    LocalForward { z, h }
 }
 
 /// The communication core shared by feedforward (on `H`) and
-/// backpropagation (on `G`): computes this rank's block of `A · X` where
-/// `x_local` is the locally-owned row block of `X`.
-pub fn spmm_exchange(ctx: &mut RankCtx, st: &RankState<'_>, x_local: &Dense, tag: u32) -> Dense {
-    spmm_exchange_with_plan(
-        ctx,
-        if tag >= super::TAG_BWD {
-            st.plan_b
-        } else {
-            st.plan_f
-        },
-        x_local,
-        tag,
-        st.ctx.pool(),
-    )
+/// backpropagation (on `G`): accumulates this rank's block of `A · X`
+/// into `ax`, where `x_local` is the locally-owned row block of `X`.
+///
+/// Payloads are drawn from and returned to the runtime's buffer pools,
+/// arrivals are staged in `scratch`, and the output lands in the
+/// caller-provided accumulator — after warmup the whole exchange touches
+/// no allocator.
+pub fn spmm_exchange_into(
+    ctx: &mut RankCtx,
+    plan: &crate::plan::RankPlan,
+    x_local: &Dense,
+    tag: u32,
+    pool: &Pool,
+    scratch: &mut ExchangeScratch,
+    ax: &mut Dense,
+) {
+    let d = x_local.cols();
+    assert_eq!(ax.rows(), plan.n_local(), "exchange accumulator rows");
+    assert_eq!(ax.cols(), d, "exchange accumulator cols");
+
+    // Lines 3–5: gather and non-blocking-send the rows each peer needs,
+    // each payload recycled from the pool of its destination.
+    for ss in &plan.send {
+        let mut payload = ctx.acquire(ss.peer, ss.local_indices.len() * d);
+        gather::gather_rows_into(x_local, &ss.local_indices, &mut payload);
+        ctx.isend(ss.peer, tag, payload);
+    }
+
+    // Line 6: local block product, overlapping the in-flight messages.
+    plan.a_own.spmm_into_pool(x_local, ax, false, pool);
+
+    // Lines 7–9: drain receives eagerly (any completion order), but
+    // *accumulate* strictly in plan order. Remote blocks overlap on output
+    // rows, and float addition is not associative, so summing in arrival
+    // order would let thread scheduling leak into the results — the
+    // repeated-runs-bitwise-identical guarantee the tests pin down.
+    //
+    // Each pass drains the whole mailbox with one `try_recv_any` sweep
+    // (instead of probing every peer individually), folds every in-order
+    // block that has landed, and only then blocks — on *any* next arrival,
+    // since exactly the planned peers send under this tag.
+    scratch.begin(plan);
+    let n_blocks = plan.a_remote.len();
+    let mut next = 0;
+    while next < n_blocks {
+        while let Some((from, payload)) = ctx.try_recv_any(tag) {
+            let slot = scratch.slot_of(from);
+            debug_assert!(scratch.arrived[slot].is_none(), "duplicate block payload");
+            scratch.arrived[slot] = Some(payload);
+        }
+        let mut progressed = false;
+        while next < n_blocks {
+            let Some(payload) = scratch.arrived[next].take() else {
+                break;
+            };
+            accumulate_block(ctx, plan, next, payload, d, ax, pool);
+            next += 1;
+            progressed = true;
+        }
+        if !progressed {
+            // Nothing in order yet: park until any planned payload lands
+            // rather than spinning over try_recv.
+            let (from, payload) = ctx.recv_any(tag);
+            let slot = scratch.slot_of(from);
+            debug_assert!(scratch.arrived[slot].is_none(), "duplicate block payload");
+            scratch.arrived[slot] = Some(payload);
+        }
+    }
 }
 
-/// As [`spmm_exchange`] with an explicit plan and pool (used directly by
-/// tests and the SGC sweep).
+/// Folds remote block `i`'s payload into `ax` and recycles the buffer
+/// back to its sender — a zero-copy view via `Dense::from_vec`/`into_vec`.
+fn accumulate_block(
+    ctx: &mut RankCtx,
+    plan: &crate::plan::RankPlan,
+    i: usize,
+    payload: Vec<f32>,
+    d: usize,
+    ax: &mut Dense,
+    pool: &Pool,
+) {
+    let block = &plan.a_remote[i];
+    let x_recv = Dense::from_vec(block.rows.len(), d, payload);
+    block.a.spmm_into_pool(&x_recv, ax, true, pool);
+    ctx.release(block.peer, x_recv.into_vec());
+}
+
+/// As [`spmm_exchange_into`] with freshly allocated scratch and output
+/// (used directly by tests; the trainers keep persistent versions).
 pub fn spmm_exchange_with_plan(
     ctx: &mut RankCtx,
     plan: &crate::plan::RankPlan,
@@ -78,54 +169,8 @@ pub fn spmm_exchange_with_plan(
     tag: u32,
     pool: &Pool,
 ) -> Dense {
-    let d = x_local.cols();
-
-    // Lines 3–5: gather and non-blocking-send the rows each peer needs.
-    let mut payload = Vec::new();
-    for ss in &plan.send {
-        gather::gather_rows_into(x_local, &ss.local_indices, &mut payload);
-        ctx.isend(ss.peer, tag, std::mem::take(&mut payload));
-    }
-
-    // Line 6: local block product, overlapping the in-flight messages.
-    let mut ax = Dense::zeros(plan.n_local(), d);
-    plan.a_own.spmm_into_pool(x_local, &mut ax, true, pool);
-
-    // Lines 7–9: drain receives eagerly (any completion order), but
-    // *accumulate* strictly in plan order. Remote blocks overlap on output
-    // rows, and float addition is not associative, so summing in arrival
-    // order would let thread scheduling leak into the results — the
-    // repeated-runs-bitwise-identical guarantee the tests pin down.
-    let mut arrived: Vec<Option<Dense>> = (0..plan.a_remote.len()).map(|_| None).collect();
-    let mut next = 0;
-    while next < plan.a_remote.len() {
-        let mut progressed = false;
-        for (i, block) in plan.a_remote.iter().enumerate().skip(next) {
-            if arrived[i].is_none() {
-                if let Some(data) = ctx.try_recv(block.peer, tag) {
-                    arrived[i] = Some(Dense::from_vec(block.rows.len(), d, data));
-                }
-            }
-        }
-        while next < plan.a_remote.len() {
-            let Some(x_recv) = arrived[next].take() else {
-                break;
-            };
-            plan.a_remote[next]
-                .a
-                .spmm_into_pool(&x_recv, &mut ax, true, pool);
-            next += 1;
-            progressed = true;
-        }
-        if !progressed {
-            // The next in-order block hasn't landed: block on it instead of
-            // spinning (keeps the thread-based runtime efficient).
-            let block = &plan.a_remote[next];
-            let data = ctx.recv(block.peer, tag);
-            let x_recv = Dense::from_vec(block.rows.len(), d, data);
-            block.a.spmm_into_pool(&x_recv, &mut ax, true, pool);
-            next += 1;
-        }
-    }
+    let mut scratch = ExchangeScratch::new(ctx.p());
+    let mut ax = Dense::zeros(plan.n_local(), x_local.cols());
+    spmm_exchange_into(ctx, plan, x_local, tag, pool, &mut scratch, &mut ax);
     ax
 }

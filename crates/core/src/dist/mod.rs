@@ -5,8 +5,10 @@
 pub mod backprop;
 pub mod feedforward;
 pub mod trainer;
+pub mod workspace;
 
 pub use trainer::{train_full_batch, train_full_batch_threads, DistOutcome};
+pub use workspace::{prewarm_comm_pools, EpochWorkspace, ExchangeScratch};
 
 use crate::model::{GcnConfig, Params};
 use crate::optim::OptimizerState;
@@ -24,12 +26,13 @@ pub struct RankState<'a> {
     pub config: &'a GcnConfig,
     /// Replicated parameter matrices (identical on every rank).
     pub params: Params,
-    /// Local block of the input features `H⁰ₘ`.
-    pub h0: Dense,
+    /// Local block of the input features `H⁰ₘ` (borrowed — never copied
+    /// into the forward pass).
+    pub h0: &'a Dense,
     /// Labels of owned vertices.
-    pub labels: Vec<u32>,
+    pub labels: &'a [u32],
     /// Training mask of owned vertices.
-    pub mask: Vec<bool>,
+    pub mask: &'a [bool],
     /// Global count of masked vertices (loss normalizer, same on all ranks).
     pub mask_total: f64,
     /// Replicated optimizer state (kept in lock-step like the parameters).
@@ -40,12 +43,21 @@ pub struct RankState<'a> {
     pub ctx: ComputeCtx,
 }
 
-/// Local intermediates of one forward pass (per rank).
+/// Local intermediates of one forward pass (per rank), living in the
+/// persistent [`EpochWorkspace`] and overwritten every epoch.
 pub struct LocalForward {
-    /// `Z¹ₘ…Z^Lₘ`.
+    /// `Z¹ₘ…Z^Lₘ` (`z[k−1]` is `Zᵏₘ`).
     pub z: Vec<Dense>,
-    /// `H⁰ₘ…H^Lₘ`.
+    /// `H¹ₘ…H^Lₘ` (`h[k−1]` is `Hᵏₘ`; `H⁰ₘ` stays in
+    /// [`RankState::h0`] — it never changes, so it is never copied).
     pub h: Vec<Dense>,
+}
+
+impl LocalForward {
+    /// The output-layer activations `H^Lₘ`.
+    pub fn output(&self) -> &Dense {
+        self.h.last().expect("at least one layer")
+    }
 }
 
 /// Base tag for feedforward layer messages; layer `k` uses `TAG_FWD + k`.

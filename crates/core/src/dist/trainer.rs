@@ -1,10 +1,12 @@
 //! Orchestration of distributed full-batch training: builds the plans,
 //! distributes the data, spawns the ranks, and assembles global results.
 
+use super::workspace::{prewarm_comm_pools, EpochWorkspace};
 use super::{backprop, feedforward, RankState};
 use crate::loss;
 use crate::model::{GcnConfig, Params};
 use crate::plan::CommPlan;
+use pargcn_comm::RankCtx;
 use pargcn_comm::{CommCounters, Communicator};
 use pargcn_graph::Graph;
 use pargcn_matrix::{gather, ComputeCtx, Dense};
@@ -152,29 +154,26 @@ pub fn train_with_plans_threads(
             plan_b: &plan_b.ranks[m],
             config,
             params: init.clone(),
-            h0: h_local.clone(),
-            labels: l_local.clone(),
-            mask: m_local.clone(),
+            h0: h_local,
+            labels: l_local,
+            mask: m_local,
             mask_total,
             opt_state: crate::optim::OptimizerState::new(config.optimizer, &config.shapes()),
             ctx: ComputeCtx::for_ranks(p, threads),
         };
+        // Every buffer the epoch loop reuses, allocated exactly once:
+        // the comm pools (sized so steady-state acquires always hit) and
+        // the layer workspaces.
+        prewarm_comm_pools(ctx, st.plan_f, st.plan_b, config);
+        let mut ws = EpochWorkspace::new(st.plan_f, config, p);
         let start = Instant::now();
         let mut losses = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            let fwd = feedforward::run(ctx, &st);
-            let hl = &fwd.h[config.layers()];
-            let (loss_local, grad_local) =
-                local_loss_and_grad(hl, &st.labels, &st.mask, mask_total);
-            // Global loss: allreduce of the local sums.
-            let mut buf = [loss_local as f32];
-            ctx.allreduce_sum(&mut buf);
-            losses.push(buf[0] as f64);
-            backprop::run(ctx, &mut st, &fwd, &grad_local);
+            losses.push(epoch_step(ctx, &mut st, &mut ws));
         }
         // Final predictions with the trained parameters.
-        let fwd = feedforward::run(ctx, &st);
-        let pred = fwd.h.into_iter().last().unwrap();
+        feedforward::run(ctx, &st, &mut ws);
+        let pred = ws.fwd.output().clone();
         let seconds = start.elapsed().as_secs_f64();
         // Compute time is the non-blocked complement of the runtime-timed
         // comm seconds, so `comm + compute == wall` per rank (fig4a split).
@@ -207,13 +206,40 @@ pub fn train_with_plans_threads(
     }
 }
 
+/// One full training epoch for one rank — forward pass, global loss,
+/// backpropagation/update — over the persistent workspace. Returns the
+/// global loss (identical on every rank). The trainer loop is just this
+/// in a loop; tests (e.g. the steady-state allocation test) drive epochs
+/// individually through it.
+pub fn epoch_step(ctx: &mut RankCtx, st: &mut RankState<'_>, ws: &mut EpochWorkspace) -> f64 {
+    feedforward::run(ctx, st, ws);
+    let loss_local = local_loss_and_grad(
+        ws.fwd.output(),
+        st.labels,
+        st.mask,
+        st.mask_total,
+        &mut ws.grad,
+    );
+    // Global loss: allreduce of the local sums (stack buffer, no heap).
+    let mut buf = [loss_local as f32];
+    ctx.allreduce_sum(&mut buf);
+    backprop::run(ctx, st, ws);
+    buf[0] as f64
+}
+
 /// Local masked cross-entropy: the *sum* of masked row losses divided by
-/// the global mask count, and the loss gradient for the local rows.
-/// Allreducing the per-rank values yields the identical global loss the
-/// serial trainer computes.
-fn local_loss_and_grad(hl: &Dense, labels: &[u32], mask: &[bool], mask_total: f64) -> (f64, Dense) {
+/// the global mask count, and (into `grad`, overwritten) the loss
+/// gradient for the local rows. Allreducing the per-rank values yields
+/// the identical global loss the serial trainer computes.
+fn local_loss_and_grad(
+    hl: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    mask_total: f64,
+    grad: &mut Dense,
+) -> f64 {
     let probs = loss::softmax_rows(hl);
-    let mut grad = Dense::zeros(hl.rows(), hl.cols());
+    grad.fill_zero();
     let mut total = 0.0f64;
     for i in 0..hl.rows() {
         if !mask[i] {
@@ -228,5 +254,5 @@ fn local_loss_and_grad(hl: &Dense, labels: &[u32], mask: &[bool], mask_total: f6
             *gv = (probs.get(i, j) - indicator) / mask_total as f32;
         }
     }
-    (total / mask_total, grad)
+    total / mask_total
 }

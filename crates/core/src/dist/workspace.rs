@@ -1,0 +1,142 @@
+//! Persistent per-rank training workspaces.
+//!
+//! Every buffer one rank needs across a training run — the `A·X`
+//! accumulators of the SpMM exchange, the arrived-payload slots, the
+//! forward intermediates `Z`/`H`, the backward gradient-flow matrices —
+//! is allocated *once* here and reused across layers, epochs,
+//! feedforward and backpropagation. Together with the comm runtime's
+//! payload pools (`pargcn_comm::bufpool`, pre-warmed by
+//! [`prewarm_comm_pools`]) this makes the steady-state epoch loop free of
+//! heap allocation on its communication path, which the
+//! counting-allocator test (`no_alloc_steady_state`) pins down.
+
+use super::LocalForward;
+use crate::model::{GcnConfig, LayerOrder};
+use crate::plan::RankPlan;
+use pargcn_comm::RankCtx;
+use pargcn_matrix::Dense;
+
+/// Scratch state of one in-flight [`spmm_exchange_into`] call: a slot per
+/// remote block for payloads that arrived out of plan order, plus the
+/// peer → slot map. Reused across every exchange of a run (forward and
+/// backward plans may have different receive sets; `begin` re-keys it).
+///
+/// [`spmm_exchange_into`]: super::feedforward::spmm_exchange_into
+pub struct ExchangeScratch {
+    /// `arrived[i]` buffers the payload of remote block `i` until every
+    /// earlier block has been folded (plan-order accumulation).
+    pub(crate) arrived: Vec<Option<Vec<f32>>>,
+    /// Peer rank → remote-block index for the current exchange.
+    pub(crate) peer_slot: Vec<u32>,
+}
+
+impl ExchangeScratch {
+    /// Scratch for a `p`-rank job.
+    pub fn new(p: usize) -> Self {
+        ExchangeScratch {
+            arrived: Vec::new(),
+            peer_slot: vec![u32::MAX; p],
+        }
+    }
+
+    /// Re-keys the scratch for an exchange over `plan`. Allocation-free
+    /// once `arrived` has grown to the largest receive set.
+    pub(crate) fn begin(&mut self, plan: &RankPlan) {
+        self.arrived.clear();
+        self.arrived.resize_with(plan.a_remote.len(), || None);
+        for (i, block) in plan.a_remote.iter().enumerate() {
+            self.peer_slot[block.peer] = i as u32;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn slot_of(&self, peer: usize) -> usize {
+        let s = self.peer_slot[peer];
+        debug_assert_ne!(s, u32::MAX, "message from a peer outside the plan");
+        s as usize
+    }
+}
+
+/// All persistent matrices one rank reuses every epoch.
+pub struct EpochWorkspace {
+    /// Exchange scratch shared by every layer in both directions.
+    pub exchange: ExchangeScratch,
+    /// Forward intermediates `Z¹…Z^L` / `H¹…H^L` (`H⁰` stays in
+    /// `RankState`, never copied).
+    pub fwd: LocalForward,
+    /// Forward exchange accumulators (SpmmFirst only): `ax_f[k−1]` holds
+    /// this rank's block of `Â·H^{k-1}`. DmmFirst aggregates straight
+    /// into `fwd.z`, so the list is empty there.
+    pub ax_f: Vec<Dense>,
+    /// Backward exchange accumulators: `ax_b[k−1]` holds `(Â'Gᵏ)ₘ`.
+    pub ax_b: Vec<Dense>,
+    /// DmmFirst-only scratch for the local `H^{k-1}·Wᵏ` products.
+    pub hw: Vec<Dense>,
+    /// Backward gradient flow: `g[k−1]` holds `Gᵏ`.
+    pub g: Vec<Dense>,
+    /// Output-layer loss gradient `∇_{H^L} Jₘ`.
+    pub grad: Dense,
+}
+
+impl EpochWorkspace {
+    /// Allocates every buffer training needs for one rank of a `p`-rank
+    /// job, sized from the plan and model shape. Called once per run,
+    /// before the first epoch.
+    pub fn new(plan: &RankPlan, config: &GcnConfig, p: usize) -> Self {
+        let n = plan.n_local();
+        let dims = &config.dims;
+        let layers = config.layers();
+        let zeros = |d: usize| Dense::zeros(n, d);
+        EpochWorkspace {
+            exchange: ExchangeScratch::new(p),
+            fwd: LocalForward {
+                z: (1..=layers).map(|k| zeros(dims[k])).collect(),
+                h: (1..=layers).map(|k| zeros(dims[k])).collect(),
+            },
+            ax_f: match config.order {
+                LayerOrder::SpmmFirst => (1..=layers).map(|k| zeros(dims[k - 1])).collect(),
+                LayerOrder::DmmFirst => Vec::new(),
+            },
+            ax_b: (1..=layers).map(|k| zeros(dims[k])).collect(),
+            hw: match config.order {
+                LayerOrder::SpmmFirst => Vec::new(),
+                LayerOrder::DmmFirst => (1..=layers).map(|k| zeros(dims[k])).collect(),
+            },
+            g: (1..=layers).map(|k| zeros(dims[k])).collect(),
+            grad: zeros(dims[layers]),
+        }
+    }
+}
+
+/// Pre-fills this rank's payload pools so every steady-state `acquire`
+/// is a hit: two buffers per point-to-point destination (one in flight,
+/// one still travelling back from the previous layer — the FIFO
+/// non-overtaking argument in DESIGN.md §9 bounds the outstanding count
+/// at two) sized for the widest layer, plus two per binomial-tree
+/// collective neighbour sized for the largest `ΔW` payload.
+pub fn prewarm_comm_pools(
+    ctx: &mut RankCtx,
+    plan_f: &RankPlan,
+    plan_b: &RankPlan,
+    config: &GcnConfig,
+) {
+    let wmax = config.dims.iter().copied().max().unwrap_or(0);
+    for ss in plan_f.send.iter().chain(&plan_b.send) {
+        ctx.prewarm(ss.peer, 2, ss.local_indices.len() * wmax);
+    }
+    let dw_max = (0..config.layers())
+        .map(|k| config.dims[k] * config.dims[k + 1])
+        .max()
+        .unwrap_or(1);
+    ctx.prewarm_collectives(2, dw_max);
+    // Queue depth at this rank is bounded by one epoch's worth of
+    // inbound traffic (the per-layer allreduces stop senders running
+    // further ahead): per layer, one forward and one backward exchange
+    // of the plans' remote-block counts, plus up to 2·⌈log₂ p⌉ tree
+    // hops per allreduce. Reserve twice that so no interleaving can
+    // grow a queue mid-epoch.
+    let log2p = ctx.p().next_power_of_two().trailing_zeros() as usize;
+    let per_epoch =
+        config.layers() * (plan_f.a_remote.len() + plan_b.a_remote.len() + 2 * log2p + 2);
+    ctx.reserve_queues(2 * per_epoch + 8);
+}

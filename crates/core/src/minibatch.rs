@@ -90,13 +90,15 @@ pub fn train(
         };
         total_volume += plan_f.total_volume_rows();
 
-        let h_batch = gather::gather_rows(h0, batch);
-        let l_batch: Vec<u32> = batch.iter().map(|&v| labels[v as usize]).collect();
         let m_batch: Vec<bool> = batch.iter().map(|&v| mask[v as usize]).collect();
         if !m_batch.iter().any(|&m| m) {
-            // No labelled vertices sampled: skip the step (no gradient).
+            // No labelled vertices sampled: skip the step (no gradient) —
+            // before gathering the batch's feature rows, which would only
+            // be thrown away.
             continue;
         }
+        let h_batch = gather::gather_rows(h0, batch);
+        let l_batch: Vec<u32> = batch.iter().map(|&v| labels[v as usize]).collect();
         let out: DistOutcome = train_with_plans(
             &plan_f, &plan_b, &h_batch, &l_batch, &m_batch, config, 1, params,
         );

@@ -10,7 +10,8 @@
 //! zero point-to-point communication at all* — every epoch is a local DMM
 //! plus the small `ΔW` allreduce. The test-suite asserts that byte count.
 
-use crate::dist::feedforward::spmm_exchange_with_plan;
+use crate::dist::feedforward::spmm_exchange_into;
+use crate::dist::ExchangeScratch;
 use crate::loss;
 use crate::plan::CommPlan;
 use pargcn_comm::{CommCounters, Communicator};
@@ -116,10 +117,28 @@ pub fn train_distributed(
         let (h_local, l_local, m_local) = &locals[m];
         let cctx = pargcn_matrix::ComputeCtx::for_ranks(part.p(), None);
 
-        // K-hop propagation: the only point-to-point communication.
+        // K-hop propagation: the only point-to-point communication. The
+        // sweeps ping-pong between two persistent buffers over a single
+        // exchange scratch, with the payload pools pre-warmed, so no sweep
+        // after the first allocates on the comm path.
+        for ss in &rp.send {
+            ctx.prewarm(ss.peer, 2, ss.local_indices.len() * d);
+        }
+        ctx.prewarm_collectives(2, d * classes);
+        let mut scratch = ExchangeScratch::new(part.p());
         let mut hp = h_local.clone();
+        let mut hp_next = Dense::zeros(h_local.rows(), d);
         for sweep in 0..k {
-            hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep as u32, cctx.pool());
+            spmm_exchange_into(
+                ctx,
+                rp,
+                &hp,
+                sweep as u32,
+                cctx.pool(),
+                &mut scratch,
+                &mut hp_next,
+            );
+            std::mem::swap(&mut hp, &mut hp_next);
         }
 
         // Training epochs: purely local + ΔW allreduce.
@@ -173,6 +192,7 @@ pub fn train_distributed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dist::feedforward::spmm_exchange_with_plan;
     use pargcn_graph::gen::sbm::{self, SbmParams};
     use pargcn_partition::{partition_rows, Method};
 

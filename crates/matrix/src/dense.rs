@@ -115,6 +115,24 @@ impl Dense {
     }
 
     /// Resets every entry to zero, keeping the allocation.
+    /// Consumes the matrix, yielding its backing row-major storage. The
+    /// inverse of [`Dense::from_vec`]: together they let a message payload
+    /// be viewed as a matrix and then recycled without copying.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Overwrites `self` with the contents of `src` (shapes must match);
+    /// never reallocates.
+    pub fn copy_from(&mut self, src: &Dense) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
@@ -216,6 +234,60 @@ impl Dense {
             }
         }
         out
+    }
+
+    /// [`Dense::matmul_bt`] writing into a caller-provided `out`
+    /// (overwritten, never reallocated) — the allocation-free form the
+    /// persistent training workspaces use.
+    pub fn matmul_bt_into(&self, b: &Dense, out: &mut Dense) {
+        assert_eq!(self.cols, b.cols, "matmul_bt dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, b.rows),
+            "matmul_bt_into output shape mismatch"
+        );
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..b.rows {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                out.data[i * b.rows + j] = acc;
+            }
+        }
+    }
+
+    /// Pooled [`Dense::matmul_bt_into`]; bitwise identical to serial.
+    pub fn matmul_bt_into_pool(&self, b: &Dense, out: &mut Dense, pool: &Pool) {
+        if pool.threads() == 1 || self.rows * self.cols * b.rows < crate::ctx::MIN_PARALLEL_WORK {
+            self.matmul_bt_into(b, out);
+            return;
+        }
+        assert_eq!(self.cols, b.cols, "matmul_bt dimension mismatch");
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, b.rows),
+            "matmul_bt_into output shape mismatch"
+        );
+        let n = b.rows;
+        let ranges = even_chunks(self.rows, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, n, &ranges, |chunk, out_rows| {
+            let rows = &ranges[chunk];
+            for i in rows.clone() {
+                let a_row = self.row(i);
+                let local = i - rows.start;
+                for j in 0..n {
+                    let b_row = b.row(j);
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    out_rows[local * n + j] = acc;
+                }
+            }
+        });
     }
 
     /// Pooled [`Dense::matmul_bt`]: output rows split evenly; bitwise
@@ -404,6 +476,40 @@ impl Dense {
             cols: self.cols,
             data,
         }
+    }
+
+    /// [`Dense::map`] writing into a caller-provided `out` of the same
+    /// shape (the allocation-free form).
+    pub fn map_into(&self, out: &mut Dense, f: impl Fn(f32) -> f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (out.rows, out.cols),
+            "map_into shape mismatch"
+        );
+        for (o, &v) in out.data.iter_mut().zip(&self.data) {
+            *o = f(v);
+        }
+    }
+
+    /// Pooled [`Dense::map_into`]; bitwise identical to serial for any
+    /// thread count (element-wise, disjoint writes).
+    pub fn map_into_pool(&self, out: &mut Dense, pool: &Pool, f: impl Fn(f32) -> f32 + Sync) {
+        if pool.threads() == 1 || self.data.len() < crate::ctx::MIN_PARALLEL_WORK {
+            self.map_into(out, f);
+            return;
+        }
+        assert_eq!(
+            (self.rows, self.cols),
+            (out.rows, out.cols),
+            "map_into shape mismatch"
+        );
+        let ranges = even_chunks(self.rows, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, self.cols, &ranges, |chunk, slice| {
+            let start = ranges[chunk].start * self.cols;
+            for (k, o) in slice.iter_mut().enumerate() {
+                *o = f(self.data[start + k]);
+            }
+        });
     }
 
     /// Pooled [`Dense::map`]; bitwise identical to serial for any thread

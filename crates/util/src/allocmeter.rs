@@ -1,0 +1,89 @@
+//! Thread-local heap-allocation counting for "this path must not
+//! allocate" assertions.
+//!
+//! [`CountingAllocator`] wraps the system allocator and bumps a
+//! thread-local counter on every `alloc`/`alloc_zeroed`/`realloc`. It is
+//! *not* installed by default: a test binary opts in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: pargcn_util::allocmeter::CountingAllocator = CountingAllocator;
+//! ```
+//!
+//! and production code samples [`current`] around a region to attribute
+//! allocations to it (the comm runtime does this for its hot path,
+//! reporting the delta as `CommCounters::comm_path_allocs`). When the
+//! allocator is not installed the counter never moves and every delta is
+//! zero, so the instrumentation costs two thread-local reads and nothing
+//! else.
+//!
+//! The counter is a `const`-initialised, `Drop`-free thread local:
+//! touching it can itself never allocate (which would recurse into the
+//! allocator) and it needs no lazy-init or destructor bookkeeping, so it
+//! is safe to poke from inside `GlobalAlloc` even while a thread is
+//! being torn down (`try_with` covers the post-teardown window).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of heap allocations (`alloc` + `alloc_zeroed` + `realloc`)
+/// performed by the *current thread* since it started — always 0 unless
+/// [`CountingAllocator`] is the installed global allocator. Frees are
+/// deliberately not counted: a recycled buffer that is later dropped is
+/// not a hot-path cost.
+#[inline]
+pub fn current() -> u64 {
+    ALLOCS.try_with(|c| c.get()).unwrap_or(0)
+}
+
+#[inline]
+fn bump() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+/// A `#[global_allocator]`-installable wrapper over [`System`] that
+/// counts allocations per thread (see the module docs).
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`; the counter is a no-alloc,
+// no-drop thread local, so the bookkeeping cannot re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this crate's unit-test binary, so
+    // the counter must stay pinned at zero no matter what allocates.
+    #[test]
+    fn counter_is_zero_when_not_installed() {
+        let before = current();
+        let v: Vec<u64> = (0..1024).collect();
+        assert_eq!(v.len(), 1024);
+        assert_eq!(current(), before);
+        assert_eq!(before, 0);
+    }
+}

@@ -143,6 +143,15 @@ impl<T> Receiver<T> {
         self.inner.state.lock().unwrap().queue.len()
     }
 
+    /// Reserves capacity for at least `additional` more queued messages,
+    /// so later `send`s up to that depth never grow the queue. The comm
+    /// runtime calls this at prewarm time: queue high-water marks are
+    /// scheduling-dependent, and reserving up front is what makes the
+    /// steady state allocation-free under *any* interleaving.
+    pub fn reserve(&self, additional: usize) {
+        self.inner.state.lock().unwrap().queue.reserve(additional);
+    }
+
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -212,6 +221,20 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         tx.send(42u32).unwrap();
         assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn reserve_keeps_semantics() {
+        let (tx, rx) = unbounded();
+        rx.reserve(64);
+        assert!(rx.is_empty());
+        for i in 0..64 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 64);
+        for i in 0..64 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
     }
 
     #[test]

@@ -21,6 +21,13 @@ run cargo build --release --offline --locked
 # identically (see the determinism_threads suites).
 run env PARGCN_THREADS=1 cargo test -q --offline --locked
 run env PARGCN_THREADS=4 cargo test -q --offline --locked
+# The allocation contract: steady-state epochs must do zero comm-path
+# heap allocations (counting global allocator; see crates/core/tests).
+# Part of the suite above, but run by name so a regression is loud.
+run cargo test -q --offline --locked -p pargcn-core --test no_alloc_steady_state
+# Smoke-run the communication microbenchmarks (one sample each) so the
+# bench harness itself can't rot between perf sessions.
+run cargo bench -q --offline --locked -p pargcn-bench --bench comm -- --quick
 run cargo fmt --check
 run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 
