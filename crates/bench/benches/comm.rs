@@ -134,15 +134,7 @@ fn bench_spmm_exchange(c: &mut Criterion) {
                     let mut scratch = ExchangeScratch::new(p);
                     let mut ax = Dense::zeros(rp.n_local(), x.cols());
                     for sweep in 0..sweeps {
-                        spmm_exchange_into(
-                            ctx,
-                            rp,
-                            x,
-                            sweep as u32,
-                            cctx.pool(),
-                            &mut scratch,
-                            &mut ax,
-                        );
+                        spmm_exchange_into(ctx, rp, x, sweep as u32, &cctx, &mut scratch, &mut ax);
                     }
                 })
             })

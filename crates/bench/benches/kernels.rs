@@ -5,7 +5,7 @@
 //! dispatch overhead.
 
 use pargcn_graph::gen::{grid, rmat};
-use pargcn_matrix::{gather, norm, Dense};
+use pargcn_matrix::{gather, norm, ComputeCtx, Dense, KernelKind};
 use pargcn_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pargcn_util::pool::Pool;
 use pargcn_util::rng::SeedableRng;
@@ -137,6 +137,75 @@ fn bench_pool_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Naive vs blocked kernel engine head-to-head on GCN-typical skinny
+/// shapes (`n × {16,64,128}` features), single thread — the single-core
+/// arithmetic headroom the blocked engine exists for. Throughput is in
+/// multiply-add elements, so `elements_per_s × 2 = FLOP/s` and the
+/// naive/blocked ratio reads off directly at equal shapes. Results are
+/// bitwise identical between engines (determinism suite), so this is a
+/// pure speed comparison. Baseline: `results/kernels_blocked.json`.
+fn bench_kernel_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_engine");
+    let engines = [
+        ("naive", ComputeCtx::serial().with_kernel(KernelKind::Naive)),
+        (
+            "blocked",
+            ComputeCtx::serial().with_kernel(KernelKind::Blocked),
+        ),
+    ];
+    let mut rng = StdRng::seed_from_u64(6);
+
+    // Forward DMM H·W: tall-skinny × small square.
+    let n = 8192usize;
+    for d in [16usize, 64, 128] {
+        let h = Dense::random(n, d, &mut rng);
+        let w = Dense::random(d, d, &mut rng);
+        group.throughput(Throughput::Elements((n * d * d) as u64));
+        for (name, cctx) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("gemm_{name}"), format!("{n}x{d}x{d}")),
+                &d,
+                |b, _| b.iter(|| cctx.matmul(std::hint::black_box(&h), &w)),
+            );
+        }
+    }
+
+    // Backward twins at the widest GCN shape: ΔW = HᵀG and S = G·Wᵀ.
+    let d = 64usize;
+    let h = Dense::random(n, d, &mut rng);
+    let g = Dense::random(n, d, &mut rng);
+    let w = Dense::random(d, d, &mut rng);
+    group.throughput(Throughput::Elements((n * d * d) as u64));
+    for (name, cctx) in &engines {
+        group.bench_with_input(
+            BenchmarkId::new(format!("gemm_at_{name}"), format!("{n}x{d}x{d}")),
+            &d,
+            |b, _| b.iter(|| cctx.matmul_at(std::hint::black_box(&h), &g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("gemm_bt_{name}"), format!("{n}x{d}x{d}")),
+            &d,
+            |b, _| b.iter(|| cctx.matmul_bt(std::hint::black_box(&g), &w)),
+        );
+    }
+
+    // SpMM Â·H on the skewed RMAT graph across the same feature widths.
+    let graph = rmat::generate_sized(10_000, 8.0, false, 1);
+    let a = graph.normalized_adjacency();
+    for d in [16usize, 64, 128] {
+        let h = Dense::random(a.n_cols(), d, &mut rng);
+        group.throughput(Throughput::Elements((a.nnz() * d) as u64));
+        for (name, cctx) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("spmm_{name}"), format!("rmat_10k_{d}")),
+                &d,
+                |b, _| b.iter(|| cctx.spmm(std::hint::black_box(&a), &h)),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_spmm,
@@ -145,6 +214,7 @@ criterion_group!(
     bench_normalize,
     bench_spmm_threads,
     bench_dmm_threads,
-    bench_pool_overhead
+    bench_pool_overhead,
+    bench_kernel_engine
 );
 criterion_main!(benches);

@@ -21,7 +21,7 @@ use pargcn_core::baselines::cagnet;
 use pargcn_core::dist;
 use pargcn_core::metrics::simulate_epoch;
 use pargcn_graph::Dataset;
-use pargcn_matrix::Dense;
+use pargcn_matrix::{ComputeSpec, Dense};
 use pargcn_partition::Method;
 use pargcn_util::rng::{Rng, SeedableRng, StdRng};
 use std::collections::BTreeMap;
@@ -107,13 +107,13 @@ fn main() {
     println!();
     println!("Measured on this machine ({epochs} epochs, seconds per epoch, per-rank mean):");
     println!(
-        "{:<8} {:<8} {:>12} {:>12} {:>12}",
-        "P", "Method", "wall", "comm", "comp"
+        "{:<8} {:<8} {:>12} {:>12} {:>12} {:>10}",
+        "P", "Method", "wall", "comm", "comp", "GFLOP/s"
     );
     for &p in &measured_ps {
         for method in [Method::Hp, Method::Rp] {
             let (part, _, _) = build_plans(&data, &a, method, p, opts.seed);
-            let out = dist::train_full_batch_threads(
+            let out = dist::train_full_batch_spec(
                 &data.graph,
                 &h0,
                 &labels,
@@ -122,24 +122,34 @@ fn main() {
                 &config,
                 epochs,
                 opts.seed,
-                opts.threads,
+                ComputeSpec {
+                    threads: opts.threads,
+                    kernel: opts.kernel,
+                },
             );
             let per_rank = |v: f64| v / (p * epochs) as f64;
             let comm = per_rank(out.counters.iter().map(|c| c.comm_seconds).sum());
             let comp = per_rank(out.counters.iter().map(|c| c.compute_seconds).sum());
             let wall = out.rank_seconds.iter().cloned().fold(0.0, f64::max) / epochs as f64;
+            // Sustained arithmetic rate across all ranks: shape-counted
+            // kernel FLOPs over the non-blocked compute seconds.
+            let flops: u64 = out.counters.iter().map(|c| c.compute_flops).sum();
+            let comp_total: f64 = out.counters.iter().map(|c| c.compute_seconds).sum();
+            let gflops = flops as f64 / comp_total.max(1e-9) / 1e9;
             println!(
-                "{:<8} {:<8} {:>12.5} {:>12.5} {:>12.5}",
+                "{:<8} {:<8} {:>12.5} {:>12.5} {:>12.5} {:>10.2}",
                 p,
                 method.name(),
                 wall,
                 comm,
-                comp
+                comp,
+                gflops
             );
             let mut metrics = BTreeMap::new();
             metrics.insert("wall".into(), wall);
             metrics.insert("comm".into(), comm);
             metrics.insert("comp".into(), comp);
+            metrics.insert("gflops".into(), gflops);
             rows.push(ResultRow {
                 experiment: "fig4a_measured".into(),
                 dataset: ds.name().into(),

@@ -9,12 +9,14 @@
 //! * `--scale <div>` — extra scale divisor on top of each dataset's default;
 //! * `--seed <n>` — RNG seed (default 1);
 //! * `--threads <n>` — kernel thread-pool size per rank (default: the
-//!   `PARGCN_THREADS` env var, else `available_parallelism / p`).
+//!   `PARGCN_THREADS` env var, else `available_parallelism / p`);
+//! * `--kernel naive|blocked` — kernel engine (default: the
+//!   `PARGCN_KERNEL` env var, else blocked). Never changes results.
 
 use pargcn_core::baselines::cagnet::CagnetPlan;
 use pargcn_core::{CommPlan, GcnConfig};
 use pargcn_graph::{Dataset, GraphData, Scale};
-use pargcn_matrix::Csr;
+use pargcn_matrix::{Csr, KernelKind};
 use pargcn_partition::stochastic::Sampler;
 use pargcn_partition::{partition_rows, Method, Partition, DEFAULT_EPSILON};
 use pargcn_util::json::{self, Json};
@@ -27,6 +29,7 @@ pub struct Opts {
     pub seed: u64,
     pub json: Option<String>,
     pub threads: Option<usize>,
+    pub kernel: Option<KernelKind>,
 }
 
 impl Opts {
@@ -44,6 +47,7 @@ impl Opts {
             seed: 1,
             json: None,
             threads: None,
+            kernel: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -64,6 +68,10 @@ impl Opts {
                 "--threads" => {
                     i += 1;
                     opts.threads = args.get(i).and_then(|s| s.parse().ok()).filter(|&t| t > 0);
+                }
+                "--kernel" => {
+                    i += 1;
+                    opts.kernel = args.get(i).and_then(|s| KernelKind::parse(s));
                 }
                 _ => {}
             }
@@ -225,6 +233,8 @@ mod tests {
             "/tmp/x.json",
             "--threads",
             "4",
+            "--kernel",
+            "naive",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -235,6 +245,7 @@ mod tests {
         assert_eq!(o.seed, 9);
         assert_eq!(o.json.as_deref(), Some("/tmp/x.json"));
         assert_eq!(o.threads, Some(4));
+        assert_eq!(o.kernel, Some(KernelKind::Naive));
     }
 
     #[test]
@@ -272,6 +283,7 @@ mod tests {
             seed: 1,
             json: None,
             threads: None,
+            kernel: None,
         };
         let data = o.load(Dataset::ComAmazon);
         let a = data.graph.normalized_adjacency();

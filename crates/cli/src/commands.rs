@@ -2,12 +2,12 @@
 
 use crate::args::{Args, ParseError};
 use pargcn_comm::MachineProfile;
-use pargcn_core::dist::train_full_batch_threads;
+use pargcn_core::dist::train_full_batch_spec;
 use pargcn_core::metrics::{simulate_epoch, simulate_serial_epoch};
 use pargcn_core::optim::Optimizer;
 use pargcn_core::{checkpoint, loss, CommPlan, GcnConfig, LayerOrder};
 use pargcn_graph::{analysis, Dataset, GraphData, Scale};
-use pargcn_matrix::Dense;
+use pargcn_matrix::{ComputeSpec, Dense, KernelKind};
 use pargcn_partition::stochastic::Sampler;
 use pargcn_partition::{metrics as pmetrics, partition_rows, Hypergraph, Method};
 use pargcn_util::rng::SeedableRng;
@@ -23,12 +23,14 @@ USAGE:
                    [--epsilon 0.01] [--scale <div>] [--seed <n>] [--out <file>]
   pargcn train     --dataset <name> [--method hp] [--p 4] [--epochs 30]
                    [--hidden 16] [--lr 0.1] [--optimizer sgd|adam]
-                   [--threads <n>] [--scale <div>] [--seed <n>]
-                   [--save-params <file>]
+                   [--threads <n>] [--kernel naive|blocked]
+                   [--scale <div>] [--seed <n>] [--save-params <file>]
 
 --threads sets the kernel thread-pool size per rank (also: PARGCN_THREADS
-env var); default auto = available_parallelism / p. Results are bitwise
-identical for any thread count.
+env var); default auto = available_parallelism / p. --kernel picks the
+local kernel engine (also: PARGCN_KERNEL env var; default blocked — the
+cache-blocked GEMM/tiled SpMM engine; naive is the reference loops).
+Results are bitwise identical for any thread count and either kernel.
   pargcn simulate  --dataset <name> [--method hp] [--p 512] [--machine cpu|gpu]
                    [--layers 2] [--d 32] [--scale <div>] [--seed <n>]
 
@@ -174,6 +176,14 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
     // 0 = auto (PARGCN_THREADS env, else available_parallelism / p).
     let threads: usize = args.num_or("threads", 0usize)?;
     let threads = (threads > 0).then_some(threads);
+    // Default: PARGCN_KERNEL env var, else the blocked engine.
+    let kernel = match args.require("kernel") {
+        Ok(name) => Some(
+            KernelKind::parse(name)
+                .ok_or_else(|| ParseError(format!("unknown kernel '{name}' (naive|blocked)")))?,
+        ),
+        Err(_) => None,
+    };
     let m = method(args.get_or("method", "hp"), data.graph.n())?;
     let optimizer = match args.get_or("optimizer", "sgd") {
         "sgd" => Optimizer::Sgd,
@@ -211,15 +221,16 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
         seed,
     );
     println!(
-        "training {} on {} ranks ({}), {} threads/rank, {} epochs, {} optimizer",
+        "training {} on {} ranks ({}), {} threads/rank, {} kernel, {} epochs, {} optimizer",
         ds.name(),
         p,
         m.name(),
         pargcn_util::pool::auto_threads(p, threads),
+        kernel.unwrap_or_else(KernelKind::from_env).name(),
         epochs,
         args.get_or("optimizer", "sgd")
     );
-    let out = train_full_batch_threads(
+    let out = train_full_batch_spec(
         &data.graph,
         &features,
         &labels,
@@ -228,7 +239,7 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
         &config,
         epochs,
         seed,
-        threads,
+        ComputeSpec { threads, kernel },
     );
     for (e, l) in out.losses.iter().enumerate() {
         if e % 5 == 0 || e + 1 == out.losses.len() {
@@ -417,6 +428,34 @@ mod tests {
             ]);
             simulate(&a).unwrap();
         }
+    }
+
+    #[test]
+    fn kernel_flag_is_parsed_and_validated() {
+        let a = args(&[
+            "train",
+            "--dataset",
+            "Cora",
+            "--scale",
+            "16",
+            "--p",
+            "2",
+            "--epochs",
+            "1",
+            "--kernel",
+            "naive",
+        ]);
+        train(&a).unwrap();
+        let bad = args(&[
+            "train",
+            "--dataset",
+            "Cora",
+            "--scale",
+            "16",
+            "--kernel",
+            "simd",
+        ]);
+        assert!(train(&bad).is_err());
     }
 
     #[test]

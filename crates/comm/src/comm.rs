@@ -173,6 +173,13 @@ impl RankCtx {
         self.counters.compute_seconds += seconds.max(0.0);
     }
 
+    /// Credits shape-counted kernel FLOPs to this rank; the trainers drain
+    /// their `ComputeCtx` meter here once per run so `compute_flops /
+    /// compute_seconds` is the rank's sustained arithmetic rate.
+    pub fn add_compute_flops(&mut self, flops: u64) {
+        self.counters.compute_flops += flops;
+    }
+
     /// Moves every buffer waiting on the return channel back into the pool.
     fn drain_returns(&mut self) {
         while let Ok(r) = self.return_rx.try_recv() {

@@ -36,6 +36,13 @@ pub struct CommCounters {
     /// its end-to-end wall time and the compute/comm split of fig4a is
     /// measurable per rank.
     pub compute_seconds: f64,
+    /// Floating-point operations this rank's kernels performed, counted
+    /// from operand shapes at dispatch (2·m·k·n per GEMM, 2·nnz·d per
+    /// SpMM) by `pargcn_matrix::ComputeCtx` and drained here by the
+    /// trainers. `compute_flops / compute_seconds` is the rank's
+    /// sustained arithmetic rate, reported as GFLOP/s by the bench
+    /// harness.
+    pub compute_flops: u64,
 }
 
 impl CommCounters {
@@ -52,6 +59,7 @@ impl CommCounters {
             out.comm_path_allocs += c.comm_path_allocs;
             out.comm_seconds += c.comm_seconds;
             out.compute_seconds += c.compute_seconds;
+            out.compute_flops += c.compute_flops;
         }
         out
     }

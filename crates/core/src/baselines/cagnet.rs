@@ -16,9 +16,8 @@ use crate::model::{GcnConfig, Params};
 use pargcn_comm::costmodel::{self, MachineProfile, PhaseTime};
 use pargcn_comm::{CommCounters, Communicator, RankCtx};
 use pargcn_graph::Graph;
-use pargcn_matrix::{gather, ComputeCtx, Csr, Dense};
+use pargcn_matrix::{gather, ComputeCtx, ComputeSpec, Csr, Dense};
 use pargcn_partition::Partition;
-use pargcn_util::pool::Pool;
 use std::time::Instant;
 
 /// Per-rank data of the broadcast algorithm: the local rows and, for every
@@ -90,7 +89,7 @@ fn spmm_broadcast(
     rank_plan: &CagnetRank,
     x_local: &Dense,
     d: usize,
-    pool: &Pool,
+    cctx: &ComputeCtx,
     scratch: &mut Vec<f32>,
 ) -> Dense {
     let mut ax = Dense::zeros(rank_plan.local_rows.len(), d);
@@ -102,7 +101,7 @@ fn spmm_broadcast(
         }
         ctx.broadcast(b, scratch);
         let xb = Dense::from_vec(rows_b, d, std::mem::take(scratch));
-        rank_plan.blocks[b].spmm_into_pool(&xb, &mut ax, true, pool);
+        cctx.spmm_into(&rank_plan.blocks[b], &xb, &mut ax, true);
         *scratch = xb.into_vec();
     }
     ax
@@ -149,6 +148,33 @@ pub fn train_full_batch_threads(
     param_seed: u64,
     threads: Option<usize>,
 ) -> CagnetOutcome {
+    train_full_batch_spec(
+        graph,
+        h0,
+        labels,
+        mask,
+        part,
+        config,
+        epochs,
+        param_seed,
+        ComputeSpec::threads(threads),
+    )
+}
+
+/// As [`train_full_batch`] with a full per-rank compute spec (thread
+/// count and kernel engine).
+#[allow(clippy::too_many_arguments)]
+pub fn train_full_batch_spec(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    epochs: usize,
+    param_seed: u64,
+    spec: ComputeSpec,
+) -> CagnetOutcome {
     let a = graph.normalized_adjacency();
     let plan_f = CagnetPlan::build(&a, part);
     let plan_b = if graph.directed() {
@@ -184,7 +210,7 @@ pub fn train_full_batch_threads(
     let results: Vec<R> = Communicator::run(p, |ctx| {
         let m = ctx.rank();
         let (h_local, l_local, m_local) = &locals[m];
-        let cctx = ComputeCtx::for_ranks(p, threads);
+        let cctx = ComputeCtx::for_ranks_spec(p, spec);
         let mut params = init.clone();
         let mut losses = Vec::with_capacity(epochs);
         let start = Instant::now();
@@ -204,10 +230,10 @@ pub fn train_full_batch_threads(
                     &plan_f.ranks[m],
                     &h[k - 1],
                     config.dims[k - 1],
-                    pool,
+                    &cctx,
                     bcast,
                 );
-                let zk = ah.matmul_pool(&params.weights[k - 1], pool);
+                let zk = cctx.matmul(&ah, &params.weights[k - 1]);
                 h.push(config.activation(k).apply_pool(&zk, pool));
                 z.push(zk);
             }
@@ -251,12 +277,12 @@ pub fn train_full_batch_threads(
                     &plan_b.ranks[m],
                     &g,
                     config.dims[k],
-                    pool,
+                    &cctx,
                     &mut bcast,
                 );
-                let mut delta_w = h[k - 1].matmul_at_pool(&ag, pool);
+                let mut delta_w = cctx.matmul_at(&h[k - 1], &ag);
                 let s = if k > 1 {
-                    Some(ag.matmul_bt_pool(&params.weights[k - 1], pool))
+                    Some(cctx.matmul_bt(&ag, &params.weights[k - 1]))
                 } else {
                     None
                 };
@@ -269,6 +295,7 @@ pub fn train_full_batch_threads(
         }
         let (_, h) = forward(ctx, &params, &mut bcast);
         ctx.add_compute_seconds(start.elapsed().as_secs_f64() - ctx.counters().comm_seconds);
+        ctx.add_compute_flops(cctx.take_flops());
         R {
             pred: h.into_iter().last().unwrap(),
             counters: ctx.counters().clone(),
@@ -383,7 +410,7 @@ mod tests {
                 &plan.ranks[ctx.rank()],
                 &locals[ctx.rank()],
                 4,
-                cctx.pool(),
+                &cctx,
                 &mut Vec::new(),
             )
         });

@@ -15,8 +15,8 @@
 //! 4. propagates `G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1})` (line 11).
 //!
 //! The forward intermediates are read from, and the gradient flow written
-//! to, the persistent [`EpochWorkspace`] — no per-epoch matrix allocation
-//! apart from the (small, `d×d`) `ΔW` partials.
+//! to, the persistent [`EpochWorkspace`] — including the (small, `d×d`)
+//! `ΔW` partials, so a steady-state epoch allocates no matrices at all.
 
 use super::workspace::EpochWorkspace;
 use super::{feedforward, RankState, TAG_BWD};
@@ -45,6 +45,7 @@ pub fn run(ctx: &mut pargcn_comm::RankCtx, st: &mut RankState<'_>, ws: &mut Epoc
             fwd,
             ax_b,
             g,
+            dw,
             ..
         } = ws;
 
@@ -54,7 +55,7 @@ pub fn run(ctx: &mut pargcn_comm::RankCtx, st: &mut RankState<'_>, ws: &mut Epoc
             st.plan_b,
             &g[k - 1],
             TAG_BWD + k as u32,
-            pool,
+            &cctx,
             exchange,
             &mut ax_b[k - 1],
         );
@@ -63,24 +64,24 @@ pub fn run(ctx: &mut pargcn_comm::RankCtx, st: &mut RankState<'_>, ws: &mut Epoc
         // Line 12: local partial ΔWᵏₘ = (H^{k-1}ₘ)ᵀ (Â'Gᵏ)ₘ. `H⁰` lives in
         // the rank state; later inputs in the forward workspace.
         let h_in = if k == 1 { st.h0 } else { &fwd.h[k - 2] };
-        let mut delta_w = h_in.matmul_at_pool(ag, pool);
+        cctx.matmul_at_into(h_in, ag, &mut dw[k - 1]);
 
         // Sᵏ must use the *pre-update* Wᵏ (line 7 precedes line 14); it
         // overwrites G^{k-1}'s buffer, which is dead from here on.
         if k > 1 {
-            ag.matmul_bt_into_pool(&st.params.weights[k - 1], &mut g[k - 2], pool);
+            cctx.matmul_bt_into(ag, &st.params.weights[k - 1], &mut g[k - 2]);
         }
 
         // Line 13: ΔWᵏ = allreduce-sum(ΔWᵏₘ) — binomial tree with a fixed
         // fold order, bitwise deterministic.
-        ctx.allreduce_sum(delta_w.data_mut());
+        ctx.allreduce_sum(dw[k - 1].data_mut());
 
         // Line 14: replicated parameter update (SGD or Adam; the optimizer
         // state is replicated and deterministic, so replicas stay in step).
         st.opt_state.apply(
             k - 1,
             &mut st.params.weights[k - 1],
-            &delta_w,
+            &dw[k - 1],
             st.config.learning_rate,
         );
 

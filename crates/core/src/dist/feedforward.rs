@@ -24,13 +24,13 @@ use super::workspace::{EpochWorkspace, ExchangeScratch};
 use super::{RankState, TAG_FWD};
 use crate::model::LayerOrder;
 use pargcn_comm::RankCtx;
-use pargcn_matrix::{gather, Dense};
-use pargcn_util::pool::Pool;
+use pargcn_matrix::{gather, ComputeCtx, Dense};
 
 /// Runs the full feedforward pass into `ws.fwd` (`Z¹…Z^L`, `H¹…H^L`).
 /// Local kernels (SpMM/DMM/activation) run on the rank's thread pool.
 pub fn run(ctx: &mut RankCtx, st: &RankState<'_>, ws: &mut EpochWorkspace) {
-    let pool = st.ctx.pool();
+    let cctx = &st.ctx;
+    let pool = cctx.pool();
     let layers = st.config.layers();
     for k in 1..=layers {
         let w = &st.params.weights[k - 1];
@@ -46,21 +46,21 @@ pub fn run(ctx: &mut RankCtx, st: &RankState<'_>, ws: &mut EpochWorkspace) {
         match st.config.order {
             LayerOrder::SpmmFirst => {
                 let ax = &mut ax_f[k - 1];
-                spmm_exchange_into(ctx, st.plan_f, h_prev, tag, pool, exchange, ax);
-                ax.matmul_into_pool(w, &mut fwd.z[k - 1], false, pool);
+                spmm_exchange_into(ctx, st.plan_f, h_prev, tag, cctx, exchange, ax);
+                cctx.matmul_into(ax, w, &mut fwd.z[k - 1], false);
             }
             LayerOrder::DmmFirst => {
                 // §4.4: transform locally first, then aggregate with the
                 // *same* communication pattern (messages carry d_out-wide
                 // rows instead of d_in-wide ones). The aggregate IS `Zᵏ`,
                 // so the exchange accumulates straight into it.
-                h_prev.matmul_into_pool(w, &mut hw[k - 1], false, pool);
+                cctx.matmul_into(h_prev, w, &mut hw[k - 1], false);
                 spmm_exchange_into(
                     ctx,
                     st.plan_f,
                     &hw[k - 1],
                     tag,
-                    pool,
+                    cctx,
                     exchange,
                     &mut fwd.z[k - 1],
                 );
@@ -85,7 +85,7 @@ pub fn spmm_exchange_into(
     plan: &crate::plan::RankPlan,
     x_local: &Dense,
     tag: u32,
-    pool: &Pool,
+    cctx: &ComputeCtx,
     scratch: &mut ExchangeScratch,
     ax: &mut Dense,
 ) {
@@ -102,7 +102,7 @@ pub fn spmm_exchange_into(
     }
 
     // Line 6: local block product, overlapping the in-flight messages.
-    plan.a_own.spmm_into_pool(x_local, ax, false, pool);
+    cctx.spmm_into(&plan.a_own, x_local, ax, false);
 
     // Lines 7–9: drain receives eagerly (any completion order), but
     // *accumulate* strictly in plan order. Remote blocks overlap on output
@@ -128,7 +128,7 @@ pub fn spmm_exchange_into(
             let Some(payload) = scratch.arrived[next].take() else {
                 break;
             };
-            accumulate_block(ctx, plan, next, payload, d, ax, pool);
+            accumulate_block(ctx, plan, next, payload, d, ax, cctx);
             next += 1;
             progressed = true;
         }
@@ -152,11 +152,11 @@ fn accumulate_block(
     payload: Vec<f32>,
     d: usize,
     ax: &mut Dense,
-    pool: &Pool,
+    cctx: &ComputeCtx,
 ) {
     let block = &plan.a_remote[i];
     let x_recv = Dense::from_vec(block.rows.len(), d, payload);
-    block.a.spmm_into_pool(&x_recv, ax, true, pool);
+    cctx.spmm_into(&block.a, &x_recv, ax, true);
     ctx.release(block.peer, x_recv.into_vec());
 }
 
@@ -167,10 +167,10 @@ pub fn spmm_exchange_with_plan(
     plan: &crate::plan::RankPlan,
     x_local: &Dense,
     tag: u32,
-    pool: &Pool,
+    cctx: &ComputeCtx,
 ) -> Dense {
     let mut scratch = ExchangeScratch::new(ctx.p());
     let mut ax = Dense::zeros(plan.n_local(), x_local.cols());
-    spmm_exchange_into(ctx, plan, x_local, tag, pool, &mut scratch, &mut ax);
+    spmm_exchange_into(ctx, plan, x_local, tag, cctx, &mut scratch, &mut ax);
     ax
 }

@@ -7,7 +7,7 @@ pub mod feedforward;
 pub mod trainer;
 pub mod workspace;
 
-pub use trainer::{train_full_batch, train_full_batch_threads, DistOutcome};
+pub use trainer::{train_full_batch, train_full_batch_spec, train_full_batch_threads, DistOutcome};
 pub use workspace::{prewarm_comm_pools, EpochWorkspace, ExchangeScratch};
 
 use crate::model::{GcnConfig, Params};

@@ -9,7 +9,7 @@ use crate::plan::CommPlan;
 use pargcn_comm::RankCtx;
 use pargcn_comm::{CommCounters, Communicator};
 use pargcn_graph::Graph;
-use pargcn_matrix::{gather, ComputeCtx, Dense};
+use pargcn_matrix::{gather, ComputeCtx, ComputeSpec, Dense};
 use pargcn_partition::Partition;
 use std::time::Instant;
 
@@ -85,6 +85,34 @@ pub fn train_full_batch_threads(
     param_seed: u64,
     threads: Option<usize>,
 ) -> DistOutcome {
+    train_full_batch_spec(
+        graph,
+        h0,
+        labels,
+        mask,
+        part,
+        config,
+        epochs,
+        param_seed,
+        ComputeSpec::threads(threads),
+    )
+}
+
+/// As [`train_full_batch`] with a full per-rank compute spec (thread
+/// count and kernel engine). Neither choice ever changes results: all
+/// engines and pool splits are bitwise identical (determinism suite).
+#[allow(clippy::too_many_arguments)]
+pub fn train_full_batch_spec(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    epochs: usize,
+    param_seed: u64,
+    spec: ComputeSpec,
+) -> DistOutcome {
     let a = graph.normalized_adjacency();
     let plan_f = CommPlan::build(&a, part);
     let plan_b = if graph.directed() {
@@ -93,8 +121,8 @@ pub fn train_full_batch_threads(
         plan_f.clone()
     };
     let init = config.init_params(param_seed);
-    train_with_plans_threads(
-        &plan_f, &plan_b, h0, labels, mask, config, epochs, init, threads,
+    train_with_plans_spec(
+        &plan_f, &plan_b, h0, labels, mask, config, epochs, init, spec,
     )
 }
 
@@ -126,6 +154,32 @@ pub fn train_with_plans_threads(
     epochs: usize,
     init: Params,
     threads: Option<usize>,
+) -> DistOutcome {
+    train_with_plans_spec(
+        plan_f,
+        plan_b,
+        h0,
+        labels,
+        mask,
+        config,
+        epochs,
+        init,
+        ComputeSpec::threads(threads),
+    )
+}
+
+/// As [`train_with_plans`] with a full per-rank compute spec.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_plans_spec(
+    plan_f: &CommPlan,
+    plan_b: &CommPlan,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    config: &GcnConfig,
+    epochs: usize,
+    init: Params,
+    spec: ComputeSpec,
 ) -> DistOutcome {
     let p = plan_f.p;
     let n = plan_f.n;
@@ -159,13 +213,13 @@ pub fn train_with_plans_threads(
             mask: m_local,
             mask_total,
             opt_state: crate::optim::OptimizerState::new(config.optimizer, &config.shapes()),
-            ctx: ComputeCtx::for_ranks(p, threads),
+            ctx: ComputeCtx::for_ranks_spec(p, spec),
         };
         // Every buffer the epoch loop reuses, allocated exactly once:
         // the comm pools (sized so steady-state acquires always hit) and
         // the layer workspaces.
         prewarm_comm_pools(ctx, st.plan_f, st.plan_b, config);
-        let mut ws = EpochWorkspace::new(st.plan_f, config, p);
+        let mut ws = EpochWorkspace::new(st.plan_f, config, p, &st.ctx);
         let start = Instant::now();
         let mut losses = Vec::with_capacity(epochs);
         for _ in 0..epochs {
@@ -176,8 +230,10 @@ pub fn train_with_plans_threads(
         let pred = ws.fwd.output().clone();
         let seconds = start.elapsed().as_secs_f64();
         // Compute time is the non-blocked complement of the runtime-timed
-        // comm seconds, so `comm + compute == wall` per rank (fig4a split).
+        // comm seconds, so `comm + compute == wall` per rank (fig4a split);
+        // the kernels' shape-counted FLOPs give the matching rate.
         ctx.add_compute_seconds(seconds - ctx.counters().comm_seconds);
+        ctx.add_compute_flops(st.ctx.take_flops());
         RankResult {
             pred,
             counters: ctx.counters().clone(),

@@ -14,7 +14,7 @@ use super::LocalForward;
 use crate::model::{GcnConfig, LayerOrder};
 use crate::plan::RankPlan;
 use pargcn_comm::RankCtx;
-use pargcn_matrix::Dense;
+use pargcn_matrix::{ComputeCtx, Dense};
 
 /// Scratch state of one in-flight [`spmm_exchange_into`] call: a slot per
 /// remote block for payloads that arrived out of plan order, plus the
@@ -74,18 +74,28 @@ pub struct EpochWorkspace {
     pub hw: Vec<Dense>,
     /// Backward gradient flow: `g[k−1]` holds `Gᵏ`.
     pub g: Vec<Dense>,
+    /// Parameter-gradient partials/sums: `dw[k−1]` holds `ΔWᵏ`.
+    pub dw: Vec<Dense>,
     /// Output-layer loss gradient `∇_{H^L} Jₘ`.
     pub grad: Dense,
 }
 
 impl EpochWorkspace {
     /// Allocates every buffer training needs for one rank of a `p`-rank
-    /// job, sized from the plan and model shape. Called once per run,
-    /// before the first epoch.
-    pub fn new(plan: &RankPlan, config: &GcnConfig, p: usize) -> Self {
+    /// job, sized from the plan and model shape, and pre-sizes the
+    /// compute context's kernel packing scratch for the run's widest
+    /// operands. Called once per run, before the first epoch.
+    pub fn new(plan: &RankPlan, config: &GcnConfig, p: usize, cctx: &ComputeCtx) -> Self {
         let n = plan.n_local();
         let dims = &config.dims;
         let layers = config.layers();
+        // The blocked GEMM engine packs its widest B operand (≤ dmax²
+        // floats for the weight-shaped operands, ≤ n·dmax for the
+        // activation-shaped ones); grow the shared scratch to that once,
+        // here, so steady-state kernel calls stay allocation-free
+        // (DESIGN.md §9).
+        let dmax = dims.iter().copied().max().unwrap_or(0);
+        cctx.reserve_pack(n.max(dmax) * dmax);
         let zeros = |d: usize| Dense::zeros(n, d);
         EpochWorkspace {
             exchange: ExchangeScratch::new(p),
@@ -103,6 +113,9 @@ impl EpochWorkspace {
                 LayerOrder::DmmFirst => (1..=layers).map(|k| zeros(dims[k])).collect(),
             },
             g: (1..=layers).map(|k| zeros(dims[k])).collect(),
+            dw: (1..=layers)
+                .map(|k| Dense::zeros(dims[k - 1], dims[k]))
+                .collect(),
             grad: zeros(dims[layers]),
         }
     }

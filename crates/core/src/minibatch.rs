@@ -8,11 +8,11 @@
 //! volume a partition induces — the quantity Fig. 5 compares between HP
 //! and SHP.
 
-use crate::dist::trainer::{train_with_plans, DistOutcome};
+use crate::dist::trainer::{train_with_plans_spec, DistOutcome};
 use crate::model::{GcnConfig, Params};
 use crate::plan::CommPlan;
 use pargcn_graph::Graph;
-use pargcn_matrix::{gather, norm, Dense};
+use pargcn_matrix::{gather, norm, ComputeSpec, Dense};
 use pargcn_partition::{metrics, Partition};
 
 /// Restriction of a global partition to a batch's vertices: part ids keep
@@ -75,6 +75,33 @@ pub fn train(
     batches: &[Vec<u32>],
     param_seed: u64,
 ) -> MinibatchOutcome {
+    train_spec(
+        graph,
+        h0,
+        labels,
+        mask,
+        part,
+        config,
+        batches,
+        param_seed,
+        ComputeSpec::default(),
+    )
+}
+
+/// As [`train`] with an explicit per-rank compute spec (thread count and
+/// kernel engine), applied to every batch step.
+#[allow(clippy::too_many_arguments)]
+pub fn train_spec(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    batches: &[Vec<u32>],
+    param_seed: u64,
+    spec: ComputeSpec,
+) -> MinibatchOutcome {
     let mut params = config.init_params(param_seed);
     let mut losses = Vec::with_capacity(batches.len());
     let mut total_volume = 0u64;
@@ -99,8 +126,8 @@ pub fn train(
         }
         let h_batch = gather::gather_rows(h0, batch);
         let l_batch: Vec<u32> = batch.iter().map(|&v| labels[v as usize]).collect();
-        let out: DistOutcome = train_with_plans(
-            &plan_f, &plan_b, &h_batch, &l_batch, &m_batch, config, 1, params,
+        let out: DistOutcome = train_with_plans_spec(
+            &plan_f, &plan_b, &h_batch, &l_batch, &m_batch, config, 1, params, spec,
         );
         params = out.params;
         losses.push(out.losses[0]);

@@ -93,15 +93,16 @@ impl SerialTrainer {
     pub fn forward(&self, h0: &Dense) -> ForwardState {
         assert_eq!(h0.rows(), self.a.n_rows(), "feature row count mismatch");
         assert_eq!(h0.cols(), self.config.dims[0], "input width mismatch");
-        let pool = self.ctx.pool();
+        let cctx = &self.ctx;
+        let pool = cctx.pool();
         let mut z = Vec::with_capacity(self.config.layers());
         let mut h = Vec::with_capacity(self.config.layers() + 1);
         h.push(h0.clone());
         for k in 1..=self.config.layers() {
             let w = &self.params.weights[k - 1];
             let zk = match self.config.order {
-                LayerOrder::SpmmFirst => self.a.spmm_pool(&h[k - 1], pool).matmul_pool(w, pool),
-                LayerOrder::DmmFirst => self.a.spmm_pool(&h[k - 1].matmul_pool(w, pool), pool),
+                LayerOrder::SpmmFirst => cctx.matmul(&cctx.spmm(&self.a, &h[k - 1]), w),
+                LayerOrder::DmmFirst => cctx.spmm(&self.a, &cctx.matmul(&h[k - 1], w)),
             };
             let hk = self.config.activation(k).apply_pool(&zk, pool);
             z.push(zk);
@@ -113,7 +114,8 @@ impl SerialTrainer {
     /// Backpropagation (paper Eqs. 2–5) given the output-layer loss
     /// gradient `∇_{H^L} J`. Returns the parameter gradients `ΔW¹…ΔW^L`.
     pub fn backward(&self, state: &ForwardState, grad_hl: &Dense) -> Vec<Dense> {
-        let pool = self.ctx.pool();
+        let cctx = &self.ctx;
+        let pool = cctx.pool();
         let layers = self.config.layers();
         let mut delta_w = vec![Dense::zeros(0, 0); layers];
         // G^L = ∇_{H^L} J ⊙ σ'(Z^L)  (Eq. 2)
@@ -128,11 +130,11 @@ impl SerialTrainer {
             match self.config.order {
                 LayerOrder::SpmmFirst => {
                     // ΔWᵏ = (H^{k-1})ᵀ (Âᵀ Gᵏ)   (Eq. 4; Âᵀ for directed)
-                    let ag = self.a_back.spmm_pool(&g, pool);
-                    delta_w[k - 1] = state.h[k - 1].matmul_at_pool(&ag, pool);
+                    let ag = cctx.spmm(&self.a_back, &g);
+                    delta_w[k - 1] = cctx.matmul_at(&state.h[k - 1], &ag);
                     if k > 1 {
                         // Sᵏ = (ÂᵀGᵏ)(Wᵏ)ᵀ; G^{k-1} = Sᵏ ⊙ σ'(Z^{k-1})  (Eq. 3)
-                        let s = ag.matmul_bt_pool(w, pool);
+                        let s = cctx.matmul_bt(&ag, w);
                         g = s.hadamard(
                             &self
                                 .config
@@ -144,10 +146,10 @@ impl SerialTrainer {
                 LayerOrder::DmmFirst => {
                     // Z = Â(HW): dJ/d(HW) = ÂᵀG, ΔW = Hᵀ(ÂᵀG),
                     // dJ/dH = (ÂᵀG)Wᵀ — same shapes, same comm pattern.
-                    let ag = self.a_back.spmm_pool(&g, pool);
-                    delta_w[k - 1] = state.h[k - 1].matmul_at_pool(&ag, pool);
+                    let ag = cctx.spmm(&self.a_back, &g);
+                    delta_w[k - 1] = cctx.matmul_at(&state.h[k - 1], &ag);
                     if k > 1 {
-                        let s = ag.matmul_bt_pool(w, pool);
+                        let s = cctx.matmul_bt(&ag, w);
                         g = s.hadamard(
                             &self
                                 .config

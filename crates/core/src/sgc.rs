@@ -134,7 +134,7 @@ pub fn train_distributed(
                 rp,
                 &hp,
                 sweep as u32,
-                cctx.pool(),
+                &cctx,
                 &mut scratch,
                 &mut hp_next,
             );
@@ -145,7 +145,7 @@ pub fn train_distributed(
         let mut w = w_init.clone();
         let mut losses = Vec::with_capacity(epochs);
         for _ in 0..epochs {
-            let logits = hp.matmul(&w);
+            let logits = cctx.matmul(&hp, &w);
             let probs = loss::softmax_rows(&logits);
             let mut loss_local = 0.0f64;
             let mut grad = Dense::zeros(logits.rows(), logits.cols());
@@ -164,11 +164,12 @@ pub fn train_distributed(
             ctx.allreduce_sum(&mut lbuf);
             losses.push(lbuf[0] as f64);
 
-            let mut dw = hp.matmul_at(&grad);
+            let mut dw = cctx.matmul_at(&hp, &grad);
             ctx.allreduce_sum(dw.data_mut());
             w.sub_scaled_assign(&dw, learning_rate);
         }
-        let pred = hp.matmul(&w);
+        let pred = cctx.matmul(&hp, &w);
+        ctx.add_compute_flops(cctx.take_flops());
         R {
             w,
             losses,
@@ -227,7 +228,7 @@ mod tests {
             let rp = &plan.ranks[ctx.rank()];
             let mut hp = locals[ctx.rank()].clone();
             for sweep in 0..3 {
-                hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep, cctx.pool());
+                hp = spmm_exchange_with_plan(ctx, rp, &hp, sweep, &cctx);
             }
             hp
         });

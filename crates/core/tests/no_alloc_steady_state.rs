@@ -79,7 +79,7 @@ fn steady_state_epochs_do_not_allocate_on_the_comm_path() {
             ctx: ComputeCtx::for_ranks(p, Some(1)),
         };
         prewarm_comm_pools(ctx, st.plan_f, st.plan_b, &config);
-        let mut ws = EpochWorkspace::new(st.plan_f, &config, p);
+        let mut ws = EpochWorkspace::new(st.plan_f, &config, p, &st.ctx);
 
         // Warm-up: channel deques and any pool shortfall grow to their
         // steady footprint here.

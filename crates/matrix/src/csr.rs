@@ -277,9 +277,13 @@ impl Csr {
     /// threads by *nonzero count* (via [`weighted_chunks`] over `indptr`),
     /// so a few dense hub rows don't serialize the kernel.
     ///
-    /// Each chunk runs the exact serial inner loops over its disjoint output
-    /// rows, so the result is bitwise identical to [`Csr::spmm_into`] at any
-    /// thread count.
+    /// Each output element is produced by exactly one thread, which
+    /// accumulates that row's nonzero terms in the **canonical order** —
+    /// one accumulator per element, terms added in ascending CSR position.
+    /// Every SpMM kernel in this crate (this one, the serial
+    /// [`Csr::spmm_into`], and the tiled [`crate::spmm_kernel::spmm_into`])
+    /// realizes that same order, so all of them are bitwise identical to
+    /// each other at any thread count (see DESIGN.md §10).
     pub fn spmm_into_pool(&self, h: &Dense, out: &mut Dense, accumulate: bool, pool: &Pool) {
         let d = h.cols();
         if pool.threads() == 1 || self.nnz() * d < crate::ctx::MIN_PARALLEL_WORK {

@@ -378,6 +378,60 @@ impl Dense {
         out
     }
 
+    /// [`Dense::matmul_at`] into a caller-provided buffer: `out = selfᵀ × b`.
+    pub fn matmul_at_into(&self, b: &Dense, out: &mut Dense) {
+        assert_eq!(self.rows, b.rows, "matmul_at dimension mismatch");
+        assert_eq!(out.rows, self.cols, "matmul_at output rows mismatch");
+        assert_eq!(out.cols, b.cols, "matmul_at output cols mismatch");
+        out.fill_zero();
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = b.row(i);
+            for (j, &aij) in a_row.iter().enumerate() {
+                if aij == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[j * b.cols..(j + 1) * b.cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += aij * bv;
+                }
+            }
+        }
+    }
+
+    /// Pooled [`Dense::matmul_at_into`]: same output-row split as
+    /// [`Dense::matmul_at_pool`], so bitwise identical to the serial kernel
+    /// at any thread count.
+    pub fn matmul_at_into_pool(&self, b: &Dense, out: &mut Dense, pool: &Pool) {
+        if pool.threads() == 1 || self.rows * self.cols * b.cols < crate::ctx::MIN_PARALLEL_WORK {
+            return self.matmul_at_into(b, out);
+        }
+        assert_eq!(self.rows, b.rows, "matmul_at dimension mismatch");
+        assert_eq!(out.rows, self.cols, "matmul_at output rows mismatch");
+        assert_eq!(out.cols, b.cols, "matmul_at output cols mismatch");
+        out.fill_zero();
+        let k = b.cols;
+        let ranges = even_chunks(self.cols, pool.threads());
+        pool.run_disjoint_rows(&mut out.data, k, &ranges, |chunk, out_rows| {
+            let js = &ranges[chunk];
+            for i in 0..self.rows {
+                let a_row = self.row(i);
+                let b_row = b.row(i);
+                for j in js.clone() {
+                    let aij = a_row[j];
+                    if aij == 0.0 {
+                        continue;
+                    }
+                    let local = j - js.start;
+                    let out_row = &mut out_rows[local * k..(local + 1) * k];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                        *o += aij * bv;
+                    }
+                }
+            }
+        });
+    }
+
     /// Explicit transpose; only used for small matrices and in tests
     /// (hot paths use the `matmul_bt`/`matmul_at` fused variants instead).
     pub fn transpose(&self) -> Dense {

@@ -1,0 +1,518 @@
+//! Cache-blocked GEMM engine shared by every dense-matmul variant.
+//!
+//! The classic packing scheme (Goto & van de Geijn): the right-hand
+//! operand is copied once per call into `NR`-wide **column panels** laid
+//! out k-major, so the micro-kernel's inner loop reads one contiguous
+//! `NR`-float line per `k` step regardless of the original leading
+//! dimension. Over the panels runs an `MR×NR` register-tiled micro-kernel
+//! holding all `MR·NR` accumulators in registers across the whole `k`
+//! loop — the naive kernels instead re-read and re-write the output row
+//! from memory on every `k` step.
+//!
+//! **Bitwise contract** (DESIGN.md §10): every output element is produced
+//! by a single accumulator summing its `k` terms in strictly ascending
+//! order — exactly the naive kernels' per-element order. The naive
+//! kernels' `a == 0.0 → skip` shortcut is a bitwise no-op on the data the
+//! trainers produce (a `±0.0·b` term never changes an accumulator that
+//! is not `-0.0`, and ascending sums started from `+0.0` can never reach
+//! `-0.0`), so blocked and naive agree bit-for-bit, at every thread
+//! count. The property suite (`tests/kernel_engine.rs`) pins this across
+//! adversarial shapes.
+//!
+//! The transposed-operand variants share the machinery where it helps:
+//! `A·B` packs `B` directly and `A·Bᵀ` packs `B`'s columns during the
+//! copy (a transposing pack) — the panel buffer lives in [`PackBuf`] and
+//! grows once to the largest shape it ever sees, so steady-state calls
+//! allocate nothing. `Aᵀ·B` (the `ΔW` gradient shape: a huge reduction
+//! dimension onto a tiny output) is different: packing either operand
+//! would copy more memory than the whole multiply reads, so it gets its
+//! own pack-free kernel — an input-row-blocked outer product with
+//! register-tiled output columns (see [`matmul_at_into`]).
+
+use crate::dense::Dense;
+use pargcn_util::pool::{even_chunks, Pool};
+
+/// Micro-kernel output-tile height (rows of `A` per tile).
+pub const MR: usize = 4;
+/// Micro-kernel output-tile width (columns of `B` per panel).
+pub const NR: usize = 8;
+
+/// Grow-once packing scratch. One per [`crate::ComputeCtx`]; reused by
+/// every blocked call, so after the first pass over the largest operand
+/// shapes the engine is allocation-free.
+#[derive(Debug, Default)]
+pub struct PackBuf {
+    /// The B operand packed into `NR`-wide column panels (k-major).
+    panels: Vec<f32>,
+}
+
+impl PackBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the panel buffer to at least the given float count. Called
+    /// once at workspace setup (`EpochWorkspace::new`) so that no
+    /// steady-state kernel call ever needs to grow it.
+    pub fn reserve(&mut self, panel_floats: usize) {
+        if self.panels.len() < panel_floats {
+            self.panels.resize(panel_floats, 0.0);
+        }
+    }
+}
+
+/// Packs `b` (`k×n`, row-major) into column panels: panel `jp` holds
+/// columns `[jp, jp+w)` contiguously k-major at offset `jp*k`.
+fn pack_b(b: &[f32], k: usize, n: usize, panels: &mut Vec<f32>) {
+    if panels.len() < k * n {
+        panels.resize(k * n, 0.0);
+    }
+    let mut jp = 0;
+    while jp < n {
+        let w = NR.min(n - jp);
+        let dst = &mut panels[jp * k..jp * k + k * w];
+        for kk in 0..k {
+            dst[kk * w..kk * w + w].copy_from_slice(&b[kk * n + jp..kk * n + jp + w]);
+        }
+        jp += w;
+    }
+}
+
+/// Transposing pack: treats `b` (`n×k`, row-major) as its transpose
+/// `Bᵀ` (`k×n`) and packs that into column panels — the `A·Bᵀ` variant
+/// never materializes `Bᵀ`.
+fn pack_bt(b: &[f32], n: usize, k: usize, panels: &mut Vec<f32>) {
+    if panels.len() < k * n {
+        panels.resize(k * n, 0.0);
+    }
+    let mut jp = 0;
+    while jp < n {
+        let w = NR.min(n - jp);
+        let dst = &mut panels[jp * k..jp * k + k * w];
+        for kk in 0..k {
+            for jj in 0..w {
+                dst[kk * w + jj] = b[(jp + jj) * k + kk];
+            }
+        }
+        jp += w;
+    }
+}
+
+/// Input rows per block of the `Aᵀ·B` outer-product kernel: the register
+/// accumulators for one output tile persist across this many reduction
+/// steps before spilling back to the (cache-hot) output.
+const AT_IB: usize = 16;
+
+/// One `W`-wide output-column tile of `AT_IB` (or fewer) outer-product
+/// updates: `acc[jj] (+)= a[i][j] · b[i][n0+jj]` for `i ∈ [i0, ie)`,
+/// ascending. `W` is constant so the accumulators stay in registers and
+/// the body vectorizes. The `aij == 0.0` skip mirrors the naive kernel's
+/// control flow exactly, so the two are bitwise identical even on
+/// non-finite inputs.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn at_tile_pass<const W: usize>(
+    a: &[f32],
+    m: usize,
+    j: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    ie: usize,
+    n0: usize,
+    out_row: &mut [f32],
+) {
+    let mut acc: [f32; W] = out_row.try_into().unwrap();
+    for i in i0..ie {
+        let aij = a[i * m + j];
+        if aij == 0.0 {
+            continue;
+        }
+        let br: &[f32; W] = b[i * n + n0..i * n + n0 + W].try_into().unwrap();
+        for jj in 0..W {
+            acc[jj] += aij * br[jj];
+        }
+    }
+    out_row.copy_from_slice(&acc);
+}
+
+/// Dynamic-width edge tile for the sub-16 remainder columns.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn at_edge_pass(
+    a: &[f32],
+    m: usize,
+    j: usize,
+    b: &[f32],
+    n: usize,
+    i0: usize,
+    ie: usize,
+    n0: usize,
+    out_row: &mut [f32],
+) {
+    let w = out_row.len();
+    let mut acc = [0.0f32; 16];
+    acc[..w].copy_from_slice(out_row);
+    for i in i0..ie {
+        let aij = a[i * m + j];
+        if aij == 0.0 {
+            continue;
+        }
+        let br = &b[i * n + n0..i * n + n0 + w];
+        for (jj, &bv) in br.iter().enumerate() {
+            acc[jj] += aij * bv;
+        }
+    }
+    out_row.copy_from_slice(&acc[..w]);
+}
+
+/// `Aᵀ·B` over output rows `js` (= columns of `a`): for each block of
+/// `AT_IB` input rows, sweep the owned output rows tile by tile, keeping
+/// each tile's partial sums in registers across the block. The whole
+/// output stays cache-hot (it is `a.cols × b.cols` — feature-sized), both
+/// inputs are streamed through exactly once, and every output element
+/// still sums its terms in ascending input-row order — the naive
+/// [`Dense::matmul_at`] order, bit for bit.
+fn at_rows(
+    a: &[f32],
+    m: usize,
+    b: &[f32],
+    n: usize,
+    r: usize,
+    js: std::ops::Range<usize>,
+    out_rows: &mut [f32],
+) {
+    for v in out_rows.iter_mut() {
+        *v = 0.0;
+    }
+    let mut i0 = 0;
+    while i0 < r {
+        let ie = (i0 + AT_IB).min(r);
+        for j in js.clone() {
+            let local = j - js.start;
+            let mut n0 = 0;
+            while n0 < n {
+                let w = match n - n0 {
+                    rem if rem >= 64 => 64,
+                    rem if rem >= 32 => 32,
+                    rem if rem >= 16 => 16,
+                    rem => rem,
+                };
+                let out_row = &mut out_rows[local * n + n0..local * n + n0 + w];
+                match w {
+                    64 => at_tile_pass::<64>(a, m, j, b, n, i0, ie, n0, out_row),
+                    32 => at_tile_pass::<32>(a, m, j, b, n, i0, ie, n0, out_row),
+                    16 => at_tile_pass::<16>(a, m, j, b, n, i0, ie, n0, out_row),
+                    _ => at_edge_pass(a, m, j, b, n, i0, ie, n0, out_row),
+                }
+                n0 += w;
+            }
+        }
+        i0 = ie;
+    }
+}
+
+/// Full `MR×NR` tile: all 32 accumulators live in registers across the
+/// whole `k` loop; the loop bounds are compile-time constants so the body
+/// vectorizes. `a` starts at the tile's first row (stride `lda`); `out`
+/// starts at the tile's first output row (stride `ldc`, column offset
+/// `j0`). Each accumulator sums its terms in ascending `kk` — the
+/// bitwise-canonical order.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_full(
+    a: &[f32],
+    lda: usize,
+    panel: &[f32],
+    k: usize,
+    out: &mut [f32],
+    ldc: usize,
+    j0: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if accumulate {
+        for (ii, acc_row) in acc.iter_mut().enumerate() {
+            acc_row.copy_from_slice(&out[ii * ldc + j0..ii * ldc + j0 + NR]);
+        }
+    }
+    for kk in 0..k {
+        let bp: &[f32; NR] = panel[kk * NR..kk * NR + NR].try_into().unwrap();
+        for (ii, acc_row) in acc.iter_mut().enumerate() {
+            let aik = a[ii * lda + kk];
+            for jj in 0..NR {
+                acc_row[jj] += aik * bp[jj];
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate() {
+        out[ii * ldc + j0..ii * ldc + j0 + NR].copy_from_slice(acc_row);
+    }
+}
+
+/// Remainder tile (`mr ≤ MR` rows, `w ≤ NR` columns) with runtime
+/// bounds; same register accumulators and the same ascending-`kk` order.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_edge(
+    a: &[f32],
+    lda: usize,
+    mr: usize,
+    panel: &[f32],
+    w: usize,
+    k: usize,
+    out: &mut [f32],
+    ldc: usize,
+    j0: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if accumulate {
+        for (ii, acc_row) in acc.iter_mut().enumerate().take(mr) {
+            acc_row[..w].copy_from_slice(&out[ii * ldc + j0..ii * ldc + j0 + w]);
+        }
+    }
+    for kk in 0..k {
+        let bp = &panel[kk * w..kk * w + w];
+        for (ii, acc_row) in acc.iter_mut().enumerate().take(mr) {
+            let aik = a[ii * lda + kk];
+            for (jj, &bv) in bp.iter().enumerate() {
+                acc_row[jj] += aik * bv;
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate().take(mr) {
+        out[ii * ldc + j0..ii * ldc + j0 + w].copy_from_slice(&acc_row[..w]);
+    }
+}
+
+/// Runs the micro-kernels over `m` consecutive rows of `a` (starting at
+/// its first element, stride `lda`) against pre-packed panels, writing
+/// `m×n` output rows starting at `out[0]`. The unit of work a pool chunk
+/// executes; chunk boundaries only regroup rows and per-element sums are
+/// row-independent, so splitting is bitwise invisible.
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    a: &[f32],
+    lda: usize,
+    m: usize,
+    k: usize,
+    panels: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let a_tile = &a[i0 * lda..];
+        let mut jp = 0;
+        while jp < n {
+            let w = NR.min(n - jp);
+            let panel = &panels[jp * k..jp * k + k * w];
+            let out_tile = &mut out[i0 * n..];
+            if mr == MR && w == NR {
+                micro_full(a_tile, lda, panel, k, out_tile, n, jp, accumulate);
+            } else {
+                micro_edge(a_tile, lda, mr, panel, w, k, out_tile, n, jp, accumulate);
+            }
+            jp += w;
+        }
+        i0 += mr;
+    }
+}
+
+/// Blocked `out (+)= A·panels` over a whole `m×n` output, split across
+/// the pool's threads by output rows exactly like the naive `_pool`
+/// kernels (same `MIN_PARALLEL_WORK` cutoff, same `even_chunks`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_with_panels(
+    a: &[f32],
+    lda: usize,
+    m: usize,
+    k: usize,
+    panels: &[f32],
+    n: usize,
+    out: &mut [f32],
+    accumulate: bool,
+    pool: &Pool,
+) {
+    if pool.threads() == 1 || m * k * n < crate::ctx::MIN_PARALLEL_WORK {
+        gemm_rows(a, lda, m, k, panels, n, out, accumulate);
+        return;
+    }
+    let ranges = even_chunks(m, pool.threads());
+    pool.run_disjoint_rows(out, n, &ranges, |chunk, out_rows| {
+        let rows = &ranges[chunk];
+        gemm_rows(
+            &a[rows.start * lda..],
+            lda,
+            rows.len(),
+            k,
+            panels,
+            n,
+            out_rows,
+            accumulate,
+        );
+    });
+}
+
+/// Blocked [`Dense::matmul_into`]: `out (+)= a × b`.
+pub fn matmul_into(
+    a: &Dense,
+    b: &Dense,
+    out: &mut Dense,
+    accumulate: bool,
+    pack: &mut PackBuf,
+    pool: &Pool,
+) {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    assert_eq!(out.rows(), a.rows(), "matmul output rows mismatch");
+    assert_eq!(out.cols(), b.cols(), "matmul output cols mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    pack_b(b.data(), k, n, &mut pack.panels);
+    let panels = &pack.panels[..k * n];
+    gemm_with_panels(
+        a.data(),
+        k,
+        m,
+        k,
+        panels,
+        n,
+        out.data_mut(),
+        accumulate,
+        pool,
+    );
+}
+
+/// Blocked [`Dense::matmul_bt_into`]: `out = a × bᵀ` (`a` is `m×k`, `b`
+/// is `n×k`). The transpose happens inside the pack — no `Bᵀ` is ever
+/// materialized.
+pub fn matmul_bt_into(a: &Dense, b: &Dense, out: &mut Dense, pack: &mut PackBuf, pool: &Pool) {
+    assert_eq!(a.cols(), b.cols(), "matmul_bt dimension mismatch");
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (a.rows(), b.rows()),
+        "matmul_bt_into output shape mismatch"
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    pack_bt(b.data(), n, k, &mut pack.panels);
+    let panels = &pack.panels[..k * n];
+    gemm_with_panels(a.data(), k, m, k, panels, n, out.data_mut(), false, pool);
+}
+
+/// Blocked [`Dense::matmul_at_into`]: `out = aᵀ × b` (`a` is `r×m`, `b`
+/// is `r×n`, result `m×n`). Pack-free input-row-blocked outer product
+/// (see [`at_rows`]); parallelism splits the output rows exactly like
+/// the naive pooled kernel (same cutoff, same `even_chunks`), which is
+/// bitwise invisible because output rows are independent.
+pub fn matmul_at_into(a: &Dense, b: &Dense, out: &mut Dense, pool: &Pool) {
+    assert_eq!(a.rows(), b.rows(), "matmul_at dimension mismatch");
+    assert_eq!(
+        (out.rows(), out.cols()),
+        (a.cols(), b.cols()),
+        "matmul_at_into output shape mismatch"
+    );
+    let (r, m, n) = (a.rows(), a.cols(), b.cols());
+    if pool.threads() == 1 || r * m * n < crate::ctx::MIN_PARALLEL_WORK {
+        at_rows(a.data(), m, b.data(), n, r, 0..m, out.data_mut());
+        return;
+    }
+    let ranges = even_chunks(m, pool.threads());
+    pool.run_disjoint_rows(out.data_mut(), n, &ranges, |chunk, out_rows| {
+        at_rows(a.data(), m, b.data(), n, r, ranges[chunk].clone(), out_rows);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pargcn_util::rng::{Rng, SeedableRng, StdRng};
+
+    fn bits(d: &Dense) -> Vec<u32> {
+        d.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Dense {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense::from_fn(rows, cols, |_, _| {
+            // Mix in exact zeros so the naive zero-skip path is exercised.
+            if rng.gen::<f32>() < 0.2 {
+                0.0
+            } else {
+                rng.gen_range(-1.0..=1.0)
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        let pool = Pool::new(1);
+        let mut pack = PackBuf::new();
+        for (m, k, n) in [(7, 5, 9), (64, 32, 16), (1, 1, 1), (13, 8, 8), (100, 3, 17)] {
+            let a = random(m, k, 1);
+            let b = random(k, n, 2);
+            let mut naive = Dense::zeros(m, n);
+            a.matmul_into(&b, &mut naive, false);
+            let mut blocked = Dense::zeros(m, n);
+            matmul_into(&a, &b, &mut blocked, false, &mut pack, &pool);
+            assert_eq!(bits(&naive), bits(&blocked), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_accumulate_matches_naive_bitwise() {
+        let pool = Pool::new(2);
+        let mut pack = PackBuf::new();
+        let a = random(33, 17, 3);
+        let b = random(17, 12, 4);
+        // Accumulator contents must be sum-reachable (never -0.0): use a
+        // prior product, exactly like the trainers do.
+        let mut naive = a.matmul(&b);
+        let mut blocked = naive.clone();
+        a.matmul_into(&b, &mut naive, true);
+        matmul_into(&a, &b, &mut blocked, true, &mut pack, &pool);
+        assert_eq!(bits(&naive), bits(&blocked));
+    }
+
+    #[test]
+    fn blocked_bt_and_at_match_naive_bitwise() {
+        let pool = Pool::new(1);
+        let mut pack = PackBuf::new();
+        let a = random(21, 10, 5);
+        let b = random(14, 10, 6);
+        let mut blocked = Dense::zeros(21, 14);
+        matmul_bt_into(&a, &b, &mut blocked, &mut pack, &pool);
+        assert_eq!(bits(&a.matmul_bt(&b)), bits(&blocked));
+
+        let h = random(50, 6, 7);
+        let g = random(50, 11, 8);
+        let mut blocked = Dense::zeros(6, 11);
+        matmul_at_into(&h, &g, &mut blocked, &pool);
+        assert_eq!(bits(&h.matmul_at(&g)), bits(&blocked));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_handled() {
+        let pool = Pool::new(1);
+        let mut pack = PackBuf::new();
+        for (m, k, n) in [(0, 4, 4), (4, 0, 4), (4, 4, 0), (0, 0, 0)] {
+            let a = Dense::zeros(m, k);
+            let b = Dense::zeros(k, n);
+            let mut out = Dense::zeros(m, n);
+            matmul_into(&a, &b, &mut out, false, &mut pack, &pool);
+            let mut naive = Dense::zeros(m, n);
+            a.matmul_into(&b, &mut naive, false);
+            assert_eq!(bits(&naive), bits(&out));
+        }
+    }
+
+    #[test]
+    fn pack_buf_grows_once() {
+        let mut pack = PackBuf::new();
+        pack.reserve(100);
+        let p0 = pack.panels.as_ptr();
+        pack.reserve(80); // smaller: no move
+        assert_eq!(p0, pack.panels.as_ptr());
+    }
+}

@@ -37,10 +37,12 @@ pub mod csr;
 pub mod ctx;
 pub mod dense;
 pub mod gather;
+pub mod gemm;
 pub mod norm;
+pub mod spmm_kernel;
 
 pub use csr::Csr;
-pub use ctx::ComputeCtx;
+pub use ctx::{ComputeCtx, ComputeSpec, KernelKind};
 pub use dense::Dense;
 
 /// Relative tolerance comparison of two `f32` values with an absolute floor.

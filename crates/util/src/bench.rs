@@ -272,9 +272,41 @@ impl Criterion {
     pub fn final_summary(&self) {
         eprintln!("\n{} benchmarks run", self.results.len());
         if let Some(path) = &self.json_path {
+            let resolved = resolve_output_path(path);
             let rows = Json::Arr(self.results.iter().map(|s| s.to_json()).collect());
-            std::fs::write(path, rows.to_string_pretty()).expect("write bench json");
-            eprintln!("wrote {} rows to {path}", self.results.len());
+            std::fs::write(&resolved, rows.to_string_pretty()).expect("write bench json");
+            eprintln!(
+                "wrote {} rows to {}",
+                self.results.len(),
+                resolved.display()
+            );
+        }
+    }
+}
+
+/// Anchors a relative `--json` path at the workspace root. `cargo bench`
+/// runs bench binaries with the *package* directory as cwd, so a bare
+/// `--json results/foo.json` would otherwise try (and fail) to write
+/// into `crates/<pkg>/results/`. Walk up from the manifest directory to
+/// the first ancestor holding a `Cargo.lock` — the workspace root — and
+/// join the path there. Absolute paths pass through untouched.
+fn resolve_output_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    let start = std::env::var("CARGO_MANIFEST_DIR")
+        .map(std::path::PathBuf::from)
+        .or_else(|_| std::env::current_dir())
+        .unwrap_or_default();
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join(p);
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => return p.to_path_buf(),
         }
     }
 }

@@ -21,13 +21,22 @@ run cargo build --release --offline --locked
 # identically (see the determinism_threads suites).
 run env PARGCN_THREADS=1 cargo test -q --offline --locked
 run env PARGCN_THREADS=4 cargo test -q --offline --locked
-# The allocation contract: steady-state epochs must do zero comm-path
-# heap allocations (counting global allocator; see crates/core/tests).
-# Part of the suite above, but run by name so a regression is loud.
-run cargo test -q --offline --locked -p pargcn-core --test no_alloc_steady_state
-# Smoke-run the communication microbenchmarks (one sample each) so the
-# bench harness itself can't rot between perf sessions.
+# Kernel-engine parity: the bitwise-determinism suites and the
+# allocation contract must hold under both compute engines
+# (PARGCN_KERNEL selects naive vs blocked GEMM/SpMM; every result is
+# bitwise engine-independent — DESIGN.md §10).
+for kernel in naive blocked; do
+    run env PARGCN_KERNEL=$kernel \
+        cargo test -q --offline --locked -p pargcn-matrix \
+        --test determinism_threads --test kernel_engine
+    run env PARGCN_KERNEL=$kernel \
+        cargo test -q --offline --locked -p pargcn-core \
+        --test determinism_threads --test no_alloc_steady_state
+done
+# Smoke-run the communication and kernel-engine microbenchmarks (a few
+# samples each) so the bench harnesses can't rot between perf sessions.
 run cargo bench -q --offline --locked -p pargcn-bench --bench comm -- --quick
+run cargo bench -q --offline --locked -p pargcn-bench --bench kernels -- --quick kernel_engine
 run cargo fmt --check
 run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 

@@ -15,6 +15,16 @@ run() {
         | tee "results/${bin}$(echo "$*" | tr ' /' '__').txt"
 }
 
+# Microbenchmark harness runs. The harness prints its stats to stderr
+# (stdout stays clean for piping), so the provenance capture must merge
+# the streams — a bare `| tee` records an empty file.
+bench() {
+    local name="$1"; shift
+    echo "=== bench $name $* ==="
+    cargo bench -q --offline --locked -p pargcn-bench --bench "$name" -- "$@" $EXTRA 2>&1 \
+        | tee "results/${name}$(echo "$*" | tr ' /' '__').txt"
+}
+
 run table1_datasets --json results/table1.json
 run table2_comm_costs --json results/table2.json
 run table2_comm_costs --granularity-matched --json results/table2_matched.json
@@ -26,4 +36,7 @@ run fig4c_accuracy --json results/fig4c.json
 run fig5_shp --json results/fig5.json
 run table3_billion --json results/table3.json
 run table4_sota --json results/table4.json
+bench comm --json results/comm_bench.json
+bench kernels --quick --json results/kernels_threads.json
+bench kernels --json results/kernels_blocked.json kernel_engine
 echo "all experiments written to results/"
