@@ -4,11 +4,12 @@ use crate::args::{Args, ParseError};
 use pargcn_comm::MachineProfile;
 use pargcn_core::dist::train_full_batch_spec;
 use pargcn_core::metrics::{simulate_epoch, simulate_serial_epoch};
+use pargcn_core::minibatch::MinibatchEngine;
 use pargcn_core::optim::Optimizer;
 use pargcn_core::{checkpoint, loss, CommPlan, GcnConfig, LayerOrder};
 use pargcn_graph::{analysis, Dataset, GraphData, Scale};
 use pargcn_matrix::{ComputeSpec, Dense, KernelKind};
-use pargcn_partition::stochastic::Sampler;
+use pargcn_partition::stochastic::{sample_batches, Sampler};
 use pargcn_partition::{metrics as pmetrics, partition_rows, Hypergraph, Method};
 use pargcn_util::rng::SeedableRng;
 use pargcn_util::rng::StdRng;
@@ -24,6 +25,7 @@ USAGE:
   pargcn train     --dataset <name> [--method hp] [--p 4] [--epochs 30]
                    [--hidden 16] [--lr 0.1] [--optimizer sgd|adam]
                    [--threads <n>] [--kernel naive|blocked]
+                   [--batch-size <n>] [--batches <count>]
                    [--scale <div>] [--seed <n>] [--save-params <file>]
 
 --threads sets the kernel thread-pool size per rank (also: PARGCN_THREADS
@@ -31,6 +33,9 @@ env var); default auto = available_parallelism / p. --kernel picks the
 local kernel engine (also: PARGCN_KERNEL env var; default blocked — the
 cache-blocked GEMM/tiled SpMM engine; naive is the reference loops).
 Results are bitwise identical for any thread count and either kernel.
+--batch-size > 0 switches to stochastic mini-batch training (§4.3.3)
+through the persistent engine: uniform-vertex batches of that size,
+one step each, --batches steps (default: epochs).
   pargcn simulate  --dataset <name> [--method hp] [--p 512] [--machine cpu|gpu]
                    [--layers 2] [--d 32] [--scale <div>] [--seed <n>]
 
@@ -220,6 +225,78 @@ pub fn train(args: &Args) -> Result<(), ParseError> {
         pargcn_partition::DEFAULT_EPSILON,
         seed,
     );
+    let batch_size: usize = args.num_or("batch-size", 0usize)?;
+    if batch_size > 0 {
+        let count: usize = args.num_or("batches", epochs)?;
+        let batches = sample_batches(
+            &data.graph,
+            Sampler::UniformVertex { batch_size },
+            count,
+            seed ^ 0xba7c,
+        );
+        println!(
+            "mini-batch training {} on {} ranks ({}), {} batches of {}, {} optimizer",
+            ds.name(),
+            p,
+            m.name(),
+            count,
+            batch_size,
+            args.get_or("optimizer", "sgd")
+        );
+        let mut engine = MinibatchEngine::new(
+            &data.graph,
+            &features,
+            &labels,
+            &mask,
+            &part,
+            &config,
+            seed,
+            ComputeSpec { threads, kernel },
+        );
+        let out = engine.train(&batches);
+        for (b, l) in out.losses.iter().enumerate() {
+            if b % 5 == 0 || b + 1 == out.losses.len() {
+                println!("batch {b:>3}: loss {l:.4}");
+            }
+        }
+        if out.skipped_batches > 0 {
+            println!(
+                "skipped {} unlabelled batch(es) ({} would-be rows)",
+                out.skipped_batches, out.skipped_volume_rows
+            );
+        }
+        let predictions = pargcn_core::serial::SerialTrainer::from_adjacency(
+            a,
+            data.graph.directed(),
+            config.clone(),
+            out.params.clone(),
+        )
+        .predict(&features);
+        let test_mask: Vec<bool> = mask.iter().map(|&m| !m).collect();
+        if test_mask.iter().any(|&m| m) {
+            println!(
+                "test accuracy: {:.3}",
+                loss::accuracy(&predictions, &labels, &test_mask)
+            );
+        }
+        println!(
+            "train accuracy: {:.3}",
+            loss::accuracy(&predictions, &labels, &mask)
+        );
+        let bytes: u64 = engine.counters().iter().map(|c| c.sent_bytes).sum();
+        println!(
+            "p2p traffic: {:.2} MiB over {} trained rows",
+            bytes as f64 / (1 << 20) as f64,
+            out.total_volume_rows
+        );
+        if let Ok(path) = args.require("save-params") {
+            checkpoint::save(&out.params, Path::new(path))
+                .map_err(|e| ParseError(format!("save {path}: {e}")))?;
+            println!("parameters saved to {path}");
+        }
+        return Ok(());
+    }
+
     println!(
         "training {} on {} ranks ({}), {} threads/rank, {} kernel, {} epochs, {} optimizer",
         ds.name(),

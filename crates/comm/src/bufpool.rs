@@ -108,6 +108,28 @@ impl BufPool {
         }
     }
 
+    /// Idempotent prewarm: tops the pool up until `count` resident
+    /// buffers for `to` fit `len` floats, growing too-small resident
+    /// buffers (largest first — fewest bytes to add) before allocating
+    /// fresh ones. Once the pool has seen the high-water `(count, len)`,
+    /// further calls are no-ops, so callers with a *stream* of demands
+    /// of varying size (the mini-batch engine: one plan per batch) can
+    /// re-ensure per step and keep the analytic steady-state guarantee
+    /// without accreting buffers the way repeated `prewarm` would.
+    pub fn ensure(&mut self, to: usize, count: usize, len: usize) {
+        self.free[to].reserve(2 * count + 2);
+        let fitting = self.free[to].iter().filter(|b| b.capacity() >= len).count();
+        for _ in fitting..count {
+            let largest_small = (0..self.free[to].len())
+                .filter(|&i| self.free[to][i].capacity() < len)
+                .max_by_key(|&i| self.free[to][i].capacity());
+            match largest_small {
+                Some(i) => self.free[to][i].reserve_exact(len),
+                None => self.free[to].push(Vec::with_capacity(len)),
+            }
+        }
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> BufPoolStats {
         BufPoolStats {
@@ -161,6 +183,31 @@ mod tests {
         assert_eq!(pool.stats().hits, 1);
         drop(b);
         assert_eq!(pool.stats().free_buffers, 1);
+    }
+
+    #[test]
+    fn ensure_tops_up_without_accreting() {
+        let mut pool = BufPool::new(1);
+        // From empty: allocates exactly `count` fresh buffers.
+        pool.ensure(0, 2, 16);
+        assert_eq!(pool.stats().free_buffers, 2);
+        // Re-ensuring the same or a smaller demand is a no-op.
+        pool.ensure(0, 2, 16);
+        pool.ensure(0, 2, 4);
+        pool.ensure(0, 1, 16);
+        assert_eq!(pool.stats().free_buffers, 2);
+        // A larger size grows the resident buffers in place.
+        pool.ensure(0, 2, 64);
+        assert_eq!(pool.stats().free_buffers, 2);
+        let a = pool.acquire(0, 64);
+        let b = pool.acquire(0, 64);
+        assert!(a.capacity() >= 64 && b.capacity() >= 64);
+        assert_eq!(pool.stats().hits, 2);
+        pool.put(0, a);
+        pool.put(0, b);
+        // A larger count accretes only the shortfall.
+        pool.ensure(0, 3, 64);
+        assert_eq!(pool.stats().free_buffers, 3);
     }
 
     #[test]

@@ -30,7 +30,10 @@ use crate::bufpool::{BufPool, BufPoolStats};
 use crate::counters::CommCounters;
 use pargcn_util::allocmeter;
 use pargcn_util::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Reserved tag space for collectives; user tags must stay below this.
@@ -66,11 +69,62 @@ pub struct Communicator;
 impl Communicator {
     /// Runs `f(rank_ctx)` on `p` threads, returning per-rank results in rank
     /// order. Panics in any rank propagate.
+    ///
+    /// This is the one-shot convenience wrapper around [`CommSession`]:
+    /// spawn the ranks, run a single step, join. Callers issuing many
+    /// steps against the same ranks (the mini-batch engine) keep the
+    /// session alive instead, so channels, buffer pools, and counters
+    /// persist across steps.
     pub fn run<F, R>(p: usize, f: F) -> Vec<R>
     where
         F: Fn(&mut RankCtx) -> R + Sync,
         R: Send,
     {
+        let mut session = CommSession::new(p);
+        session.run_step(&f)
+    }
+}
+
+/// The closure one step runs on every rank, with its borrow lifetime
+/// erased so it can cross into the long-lived rank threads. Soundness is
+/// the scoped-pool argument (`pargcn_util::pool::Shared`): the submitter
+/// keeps the closure alive until every rank has acknowledged the step.
+struct ErasedStep(*const (dyn Fn(&mut RankCtx) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine)
+// and `CommSession` blocks in `collect_step` before the pointee can die.
+unsafe impl Send for ErasedStep {}
+
+/// One rank's acknowledgement that it finished (or panicked in) a step.
+struct StepDone {
+    rank: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// A long-lived rank runtime: `p` rank threads spawned **once**, each
+/// owning its [`RankCtx`] — message channels, payload pools, pending
+/// queue, counters — for the whole session. Work arrives as *steps*
+/// (closures run on every rank); state persists across steps, so a
+/// stream of mini-batch steps pays the thread-spawn, channel-build and
+/// pool-warmup cost once instead of per batch.
+///
+/// Panic semantics match [`Communicator::run`]: a panicking rank
+/// acknowledges its step with the payload (rethrown on the submitter),
+/// then exits, dropping its endpoints — peers blocked on it observe
+/// "peer rank hung up", exactly as if the scoped thread had died. The
+/// session is poisoned afterwards; further steps are refused.
+pub struct CommSession {
+    p: usize,
+    jobs: Vec<Sender<ErasedStep>>,
+    done_rx: Receiver<StepDone>,
+    handles: Vec<JoinHandle<()>>,
+    in_flight: bool,
+    poisoned: bool,
+}
+
+impl CommSession {
+    /// Spawns the `p` rank threads and their channel mesh.
+    pub fn new(p: usize) -> CommSession {
         assert!(p >= 1, "need at least one rank");
         let mut senders: Vec<Sender<Message>> = Vec::with_capacity(p);
         let mut receivers: Vec<Option<Receiver<Message>>> = Vec::with_capacity(p);
@@ -85,18 +139,23 @@ impl Communicator {
             return_rxs.push(Some(r));
         }
         let barrier = Arc::new(Barrier::new(p));
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, (recv_slot, ret_slot)) in
-                receivers.iter_mut().zip(return_rxs.iter_mut()).enumerate()
-            {
-                let receiver = recv_slot.take().expect("receiver taken once");
-                let return_rx = ret_slot.take().expect("return receiver taken once");
-                let senders = senders.clone();
-                let returns = returns.clone();
-                let barrier = Arc::clone(&barrier);
-                handles.push(scope.spawn(move || {
+        let (done_tx, done_rx) = unbounded();
+        let mut jobs = Vec::with_capacity(p);
+        let mut handles = Vec::with_capacity(p);
+        for (rank, (recv_slot, ret_slot)) in
+            receivers.iter_mut().zip(return_rxs.iter_mut()).enumerate()
+        {
+            let receiver = recv_slot.take().expect("receiver taken once");
+            let return_rx = ret_slot.take().expect("return receiver taken once");
+            let senders = senders.clone();
+            let returns = returns.clone();
+            let barrier = Arc::clone(&barrier);
+            let done_tx = done_tx.clone();
+            let (job_tx, job_rx) = unbounded::<ErasedStep>();
+            jobs.push(job_tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("pargcn-rank-{rank}"))
+                .spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
                         p,
@@ -109,14 +168,134 @@ impl Communicator {
                         barrier,
                         counters: CommCounters::default(),
                     };
-                    f(&mut ctx)
-                }));
+                    while let Ok(step) = job_rx.recv() {
+                        // SAFETY: the submitter blocks in `collect_step`
+                        // until this rank's `done` message below, so the
+                        // closure (and everything it borrows) is alive.
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| unsafe { (*step.0)(&mut ctx) }));
+                        let failed = result.is_err();
+                        let _ = done_tx.send(StepDone {
+                            rank,
+                            panic: result.err(),
+                        });
+                        if failed {
+                            // Exit, dropping `ctx`: peers blocked on this
+                            // rank unblock with "peer rank hung up" — the
+                            // same observable behaviour a dying scoped
+                            // thread had under the one-shot runtime.
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+        CommSession {
+            p,
+            jobs,
+            done_rx,
+            handles,
+            in_flight: false,
+            poisoned: false,
+        }
+    }
+
+    /// Number of ranks in the session.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Runs `f` on every rank — against the *persistent* per-rank state —
+    /// and blocks until all ranks finish, returning results in rank order.
+    /// Panics in any rank propagate (and poison the session).
+    pub fn run_step<F, R>(&mut self, f: F) -> Vec<R>
+    where
+        F: Fn(&mut RankCtx) -> R + Sync,
+        R: Send,
+    {
+        let slots: Vec<Mutex<Option<R>>> = (0..self.p).map(|_| Mutex::new(None)).collect();
+        let step = |ctx: &mut RankCtx| {
+            let r = f(ctx);
+            *slots[ctx.rank()].lock().unwrap() = Some(r);
+        };
+        // SAFETY: `step` (and the `slots`/`f` it borrows) outlives the
+        // blocking `collect_step` below; no other step is in flight.
+        unsafe { self.submit_step(&step) };
+        self.collect_step();
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("rank produced no result"))
+            .collect()
+    }
+
+    /// Posts `f` to every rank **without waiting**. The caller's thread is
+    /// free until the matching [`collect_step`](Self::collect_step) — the
+    /// hook the mini-batch engine uses to prepare batch `t+1` while the
+    /// ranks train batch `t`.
+    ///
+    /// # Safety
+    /// The closure (and everything it borrows) must stay alive and
+    /// unmodified until `collect_step` returns, and at most one step may
+    /// be in flight at a time (enforced by assertion).
+    pub unsafe fn submit_step(&mut self, f: &(dyn Fn(&mut RankCtx) + Sync)) {
+        assert!(
+            !self.poisoned,
+            "comm session poisoned by an earlier rank panic"
+        );
+        assert!(!self.in_flight, "a step is already in flight");
+        // Erase the borrow's lifetime into the raw pointer; `collect_step`
+        // blocks until every rank is done with it.
+        let ptr = unsafe {
+            std::mem::transmute::<
+                &(dyn Fn(&mut RankCtx) + Sync),
+                *const (dyn Fn(&mut RankCtx) + Sync),
+            >(f)
+        };
+        for job in &self.jobs {
+            job.send(ErasedStep(ptr)).expect("rank thread exited");
+        }
+        self.in_flight = true;
+    }
+
+    /// Blocks until every rank has finished the in-flight step. Rethrows
+    /// the first rank panic (poisoning the session) after all
+    /// acknowledgements arrive.
+    pub fn collect_step(&mut self) {
+        assert!(self.in_flight, "no step in flight");
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        for _ in 0..self.p {
+            let done = self
+                .done_rx
+                .recv()
+                .expect("rank thread died without acknowledging its step");
+            if let Some(payload) = done.panic {
+                self.poisoned = true;
+                let _ = done.rank;
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        })
+        }
+        self.in_flight = false;
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for CommSession {
+    fn drop(&mut self) {
+        // Disconnect the job queues; rank threads observe the hangup and
+        // exit, dropping their contexts.
+        self.jobs.clear();
+        for handle in self.handles.drain(..) {
+            // Rank panics were already captured and rethrown by
+            // `collect_step`; a join error here can only happen during an
+            // unwind that is already in progress, so never double-panic.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -223,6 +402,17 @@ impl RankCtx {
         self.pool.prewarm(to, count, len);
     }
 
+    /// Idempotent [`prewarm`](Self::prewarm): drains the return channel,
+    /// then tops the pool up until `count` resident buffers for `to` fit
+    /// `len` floats (see [`BufPool::ensure`]). At a step boundary every
+    /// buffer is back in flight toward its pool, so draining first makes
+    /// the resident count exact and repeated calls with a stream of
+    /// varying demands allocate only when the high-water mark rises.
+    pub fn ensure_pool(&mut self, to: usize, count: usize, len: usize) {
+        self.drain_returns();
+        self.pool.ensure(to, count, len);
+    }
+
     /// Reserves capacity for `msgs` in-flight messages in this rank's
     /// mailbox, pending queue, and return channel. Queue depth is
     /// scheduling-dependent (a fast sender can run ahead), so without a
@@ -241,11 +431,22 @@ impl RankCtx {
     /// neighbours (parent and children of the rank-0-rooted allreduce
     /// tree): `count` buffers of capacity `len` per neighbour.
     pub fn prewarm_collectives(&mut self, count: usize, len: usize) {
+        self.for_collective_neighbours(|pool, peer| pool.prewarm(peer, count, len));
+    }
+
+    /// Idempotent [`prewarm_collectives`](Self::prewarm_collectives),
+    /// with [`ensure_pool`](Self::ensure_pool)'s top-up semantics.
+    pub fn ensure_collectives(&mut self, count: usize, len: usize) {
+        self.drain_returns();
+        self.for_collective_neighbours(|pool, peer| pool.ensure(peer, count, len));
+    }
+
+    fn for_collective_neighbours(&mut self, mut f: impl FnMut(&mut BufPool, usize)) {
         if self.p == 1 {
             return;
         }
         if self.rank != 0 {
-            self.pool.prewarm(self.rank - lowbit(self.rank), count, len);
+            f(&mut self.pool, self.rank - lowbit(self.rank));
         }
         let low = if self.rank == 0 {
             self.p.next_power_of_two()
@@ -256,7 +457,7 @@ impl RankCtx {
         while m > 0 {
             let child = self.rank + m;
             if child < self.p {
-                self.pool.prewarm(child, count, len);
+                f(&mut self.pool, child);
             }
             m >>= 1;
         }
@@ -873,5 +1074,106 @@ mod tests {
         Communicator::run(1, |ctx| {
             ctx.isend(0, 0, vec![1.0]);
         });
+    }
+
+    #[test]
+    fn session_state_persists_across_steps() {
+        // Counters accumulate and payload pools stay warm across steps —
+        // the property the one-shot runtime could not provide.
+        let mut session = CommSession::new(2);
+        session.run_step(|ctx| {
+            let other = 1 - ctx.rank();
+            ctx.prewarm(other, 1, 32);
+            let mut payload = ctx.acquire(other, 32);
+            payload.resize(32, ctx.rank() as f32);
+            ctx.isend(other, 0, payload);
+            let got = ctx.recv(other, 0);
+            ctx.release(other, got);
+            ctx.barrier(); // returns visible before the next step's acquire
+        });
+        let stats = session.run_step(|ctx| {
+            let other = 1 - ctx.rank();
+            // Served from the pool warmed in the previous step.
+            let payload = ctx.acquire(other, 32);
+            ctx.release(ctx.rank(), payload);
+            (ctx.counters().clone(), ctx.pool_stats())
+        });
+        for (counters, pool) in &stats {
+            assert_eq!(counters.sent_messages, 1, "counters must span steps");
+            assert_eq!(counters.recv_messages, 1);
+            assert!(
+                pool.hits >= 1,
+                "step-2 acquire should hit the step-1 pool: {pool:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_runs_many_steps_on_same_ranks() {
+        let mut session = CommSession::new(4);
+        for step in 0..10u32 {
+            let results = session.run_step(|ctx| {
+                let next = (ctx.rank() + 1) % 4;
+                let prev = (ctx.rank() + 3) % 4;
+                ctx.isend(next, step, vec![(ctx.rank() as u32 + step) as f32]);
+                let got = ctx.recv(prev, step);
+                got[0] as u32
+            });
+            let expect: Vec<u32> = (0..4u32).map(|r| (r + 3) % 4 + step).collect();
+            assert_eq!(results, expect);
+        }
+        let counters = session.run_step(|ctx| ctx.counters().clone());
+        for c in &counters {
+            assert_eq!(c.sent_messages, 10);
+        }
+    }
+
+    #[test]
+    fn session_submit_overlaps_caller_work() {
+        // The pipelining hook: submit a step, do main-thread work while the
+        // ranks run, then collect. Results land in caller-owned slots.
+        let mut session = CommSession::new(3);
+        let slots: Vec<Mutex<f32>> = (0..3).map(|_| Mutex::new(0.0)).collect();
+        let step = |ctx: &mut RankCtx| {
+            let mut buf = vec![ctx.rank() as f32];
+            ctx.allreduce_sum(&mut buf);
+            *slots[ctx.rank()].lock().unwrap() = buf[0];
+        };
+        // SAFETY: `step` and `slots` outlive the collect below; one step.
+        unsafe { session.submit_step(&step) };
+        let main_thread_work: f32 = (0..100).map(|i| i as f32).sum();
+        session.collect_step();
+        assert_eq!(main_thread_work, 4950.0);
+        for s in &slots {
+            assert_eq!(*s.lock().unwrap(), 3.0);
+        }
+    }
+
+    #[test]
+    fn session_panic_propagates_and_poisons() {
+        let mut session = CommSession::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            session.run_step(|_ctx| panic!("step exploded"));
+        }));
+        assert!(caught.is_err(), "rank panic must propagate");
+        let refused = catch_unwind(AssertUnwindSafe(|| {
+            session.run_step(|ctx| ctx.rank());
+        }));
+        assert!(refused.is_err(), "poisoned session must refuse steps");
+    }
+
+    #[test]
+    fn session_collectives_work_across_steps() {
+        let mut session = CommSession::new(5);
+        for round in 1..=3 {
+            let results = session.run_step(|ctx| {
+                let mut buf = vec![round as f32];
+                ctx.allreduce_sum(&mut buf);
+                buf[0]
+            });
+            for r in &results {
+                assert_eq!(*r, 5.0 * round as f32);
+            }
+        }
     }
 }

@@ -39,6 +39,6 @@ pub mod costmodel;
 pub mod counters;
 
 pub use bufpool::{BufPool, BufPoolStats};
-pub use comm::{Communicator, RankCtx};
+pub use comm::{CommSession, Communicator, RankCtx};
 pub use costmodel::MachineProfile;
 pub use counters::CommCounters;

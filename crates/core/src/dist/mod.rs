@@ -8,7 +8,9 @@ pub mod trainer;
 pub mod workspace;
 
 pub use trainer::{train_full_batch, train_full_batch_spec, train_full_batch_threads, DistOutcome};
-pub use workspace::{prewarm_comm_pools, EpochWorkspace, ExchangeScratch};
+pub use workspace::{
+    prewarm_comm_pools, reserve_epoch_queues, BatchWorkspace, EpochWorkspace, ExchangeScratch,
+};
 
 use crate::model::{GcnConfig, Params};
 use crate::optim::OptimizerState;

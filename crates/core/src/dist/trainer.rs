@@ -274,6 +274,7 @@ pub fn epoch_step(ctx: &mut RankCtx, st: &mut RankState<'_>, ws: &mut EpochWorks
         st.labels,
         st.mask,
         st.mask_total,
+        &mut ws.probs,
         &mut ws.grad,
     );
     // Global loss: allreduce of the local sums (stack buffer, no heap).
@@ -286,15 +287,18 @@ pub fn epoch_step(ctx: &mut RankCtx, st: &mut RankState<'_>, ws: &mut EpochWorks
 /// Local masked cross-entropy: the *sum* of masked row losses divided by
 /// the global mask count, and (into `grad`, overwritten) the loss
 /// gradient for the local rows. Allreducing the per-rank values yields
-/// the identical global loss the serial trainer computes.
+/// the identical global loss the serial trainer computes. `probs` is the
+/// workspace's persistent softmax buffer, so the loss path stays
+/// allocation-free (§9).
 fn local_loss_and_grad(
     hl: &Dense,
     labels: &[u32],
     mask: &[bool],
     mask_total: f64,
+    probs: &mut Dense,
     grad: &mut Dense,
 ) -> f64 {
-    let probs = loss::softmax_rows(hl);
+    loss::softmax_rows_into(hl, probs);
     grad.fill_zero();
     let mut total = 0.0f64;
     for i in 0..hl.rows() {

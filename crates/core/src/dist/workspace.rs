@@ -78,6 +78,9 @@ pub struct EpochWorkspace {
     pub dw: Vec<Dense>,
     /// Output-layer loss gradient `∇_{H^L} Jₘ`.
     pub grad: Dense,
+    /// Softmax probabilities of the loss path (`softmax_rows_into`
+    /// target), so computing the epoch loss allocates nothing.
+    pub probs: Dense,
 }
 
 impl EpochWorkspace {
@@ -117,6 +120,66 @@ impl EpochWorkspace {
                 .map(|k| Dense::zeros(dims[k - 1], dims[k]))
                 .collect(),
             grad: zeros(dims[layers]),
+            probs: zeros(dims[layers]),
+        }
+    }
+
+    /// Re-dimensions every row-sized buffer for a plan with a different
+    /// local row count (the mini-batch engine's per-batch call). Column
+    /// widths are fixed by the model config, `dw` is row-count-independent,
+    /// and `exchange` is re-keyed by its own `begin`; everything row-sized
+    /// grows once to the high-water batch and is fully overwritten before
+    /// being read (the same argument that makes cross-epoch reuse bitwise
+    /// safe), so steady-state batches of bounded size allocate nothing.
+    pub fn resize_for_plan(&mut self, plan: &RankPlan, config: &GcnConfig, cctx: &ComputeCtx) {
+        let n = plan.n_local();
+        let dmax = config.dims.iter().copied().max().unwrap_or(0);
+        cctx.reserve_pack(n.max(dmax) * dmax);
+        for m in self
+            .fwd
+            .z
+            .iter_mut()
+            .chain(self.fwd.h.iter_mut())
+            .chain(self.ax_f.iter_mut())
+            .chain(self.ax_b.iter_mut())
+            .chain(self.hw.iter_mut())
+            .chain(self.g.iter_mut())
+        {
+            m.resize_rows(n);
+        }
+        self.grad.resize_rows(n);
+        self.probs.resize_rows(n);
+    }
+}
+
+/// A grow-once [`EpochWorkspace`] for the mini-batch engine: created on
+/// the first batch, row-resized (high-water-marked) for every later one,
+/// so a steady stream of bounded-size batches trains without workspace
+/// allocation (DESIGN.md §11).
+#[derive(Default)]
+pub struct BatchWorkspace {
+    ws: Option<EpochWorkspace>,
+}
+
+impl BatchWorkspace {
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// The workspace sized for `plan`, creating it on first use.
+    pub fn begin_batch(
+        &mut self,
+        plan: &RankPlan,
+        config: &GcnConfig,
+        p: usize,
+        cctx: &ComputeCtx,
+    ) -> &mut EpochWorkspace {
+        match &mut self.ws {
+            slot @ None => slot.insert(EpochWorkspace::new(plan, config, p, cctx)),
+            Some(ws) => {
+                ws.resize_for_plan(plan, config, cctx);
+                ws
+            }
         }
     }
 }
@@ -127,6 +190,13 @@ impl EpochWorkspace {
 /// non-overtaking argument in DESIGN.md §9 bounds the outstanding count
 /// at two) sized for the widest layer, plus two per binomial-tree
 /// collective neighbour sized for the largest `ΔW` payload.
+///
+/// Idempotent (`ensure_pool` tops up instead of accreting), so callers
+/// with a *stream* of plans — the mini-batch engine, one plan per batch
+/// — call this at every step boundary: each batch gets its own analytic
+/// worst case, pools grow only when the stream hits a new high-water
+/// batch, and steady state stays provably allocation-free rather than
+/// relying on timing-dependent grow-on-miss convergence.
 pub fn prewarm_comm_pools(
     ctx: &mut RankCtx,
     plan_f: &RankPlan,
@@ -135,13 +205,27 @@ pub fn prewarm_comm_pools(
 ) {
     let wmax = config.dims.iter().copied().max().unwrap_or(0);
     for ss in plan_f.send.iter().chain(&plan_b.send) {
-        ctx.prewarm(ss.peer, 2, ss.local_indices.len() * wmax);
+        ctx.ensure_pool(ss.peer, 2, ss.local_indices.len() * wmax);
     }
     let dw_max = (0..config.layers())
         .map(|k| config.dims[k] * config.dims[k + 1])
         .max()
         .unwrap_or(1);
-    ctx.prewarm_collectives(2, dw_max);
+    ctx.ensure_collectives(2, dw_max);
+    reserve_epoch_queues(ctx, plan_f, plan_b, config);
+}
+
+/// Pre-sizes this rank's inbound queues for one epoch under the given
+/// plans. Split from [`prewarm_comm_pools`] because `prewarm` *accretes*
+/// pool buffers (calling it per batch would grow the pools without bound)
+/// while queue reservation is idempotent — the mini-batch engine prewarms
+/// once per session and re-reserves queues per batch as plans change.
+pub fn reserve_epoch_queues(
+    ctx: &mut RankCtx,
+    plan_f: &RankPlan,
+    plan_b: &RankPlan,
+    config: &GcnConfig,
+) {
     // Queue depth at this rank is bounded by one epoch's worth of
     // inbound traffic (the per-layer allreduces stop senders running
     // further ahead): per layer, one forward and one backward exchange

@@ -55,4 +55,4 @@ pub mod serial;
 pub mod sgc;
 
 pub use model::{GcnConfig, LayerOrder, Params};
-pub use plan::CommPlan;
+pub use plan::{CommPlan, PlanBuilder};

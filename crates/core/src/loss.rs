@@ -10,9 +10,22 @@ use pargcn_matrix::Dense;
 
 /// Row-wise softmax with the max-subtraction trick for stability.
 pub fn softmax_rows(h: &Dense) -> Dense {
-    let mut out = h.clone();
+    let mut out = Dense::zeros(h.rows(), h.cols());
+    softmax_rows_into(h, &mut out);
+    out
+}
+
+/// [`softmax_rows`] into a caller-owned buffer — the training loop keeps a
+/// persistent `probs` matrix in its workspace so the per-epoch loss path
+/// allocates nothing (the §9 no-alloc contract, extended in DESIGN.md §11).
+///
+/// `out` is row-resized in place (grow-once) and must have `h`'s width.
+pub fn softmax_rows_into(h: &Dense, out: &mut Dense) {
+    assert_eq!(h.cols(), out.cols(), "softmax_rows_into width mismatch");
+    out.resize_rows(h.rows());
     for i in 0..h.rows() {
         let row = out.row_mut(i);
+        row.copy_from_slice(h.row(i));
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
@@ -25,7 +38,6 @@ pub fn softmax_rows(h: &Dense) -> Dense {
             }
         }
     }
-    out
 }
 
 /// Masked softmax cross-entropy.

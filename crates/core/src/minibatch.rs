@@ -8,12 +8,18 @@
 //! volume a partition induces — the quantity Fig. 5 compares between HP
 //! and SHP.
 
-use crate::dist::trainer::{train_with_plans_spec, DistOutcome};
+use crate::dist::trainer::{epoch_step, train_with_plans_spec, DistOutcome};
+use crate::dist::workspace::{prewarm_comm_pools, BatchWorkspace};
+use crate::dist::RankState;
 use crate::model::{GcnConfig, Params};
-use crate::plan::CommPlan;
-use pargcn_graph::Graph;
-use pargcn_matrix::{gather, norm, ComputeSpec, Dense};
+use crate::optim::{Optimizer, OptimizerState};
+use crate::plan::{CommPlan, PlanBuilder};
+use pargcn_comm::{CommCounters, CommSession, RankCtx};
+use pargcn_graph::{Graph, SubgraphScratch};
+use pargcn_matrix::{gather, norm, ComputeCtx, ComputeSpec, Dense};
 use pargcn_partition::{metrics, Partition};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Restriction of a global partition to a batch's vertices: part ids keep
 /// their meaning (rank `m` still owns its vertices), rows renumber to the
@@ -54,10 +60,18 @@ pub struct MinibatchOutcome {
     pub losses: Vec<f64>,
     /// Final parameters.
     pub params: Params,
-    /// Total point-to-point rows exchanged across all batches (feedforward
-    /// direction plans; one sweep's volume × layers × 2 gives a full-epoch
-    /// figure).
+    /// Total point-to-point rows exchanged across the *trained* batches
+    /// (feedforward-direction plans; one sweep's volume × layers × 2 gives
+    /// a full-epoch figure). Skipped batches exchange nothing, so their
+    /// would-be volume is reported separately.
     pub total_volume_rows: u64,
+    /// Batches skipped because they sampled no labelled vertex (no
+    /// gradient, no step, no traffic).
+    pub skipped_batches: usize,
+    /// The feedforward plan volume those skipped batches *would* have
+    /// exchanged — kept out of `total_volume_rows` so Fig. 5's
+    /// trained-batch volume is not overstated.
+    pub skipped_volume_rows: u64,
 }
 
 /// Trains over the given mini-batches (one step each), distributing every
@@ -105,6 +119,8 @@ pub fn train_spec(
     let mut params = config.init_params(param_seed);
     let mut losses = Vec::with_capacity(batches.len());
     let mut total_volume = 0u64;
+    let mut skipped_batches = 0usize;
+    let mut skipped_volume = 0u64;
     for batch in batches {
         let sub = graph.induced_subgraph(batch);
         let a = norm::normalize_adjacency(sub.adjacency());
@@ -115,15 +131,18 @@ pub fn train_spec(
         } else {
             plan_f.clone()
         };
-        total_volume += plan_f.total_volume_rows();
 
         let m_batch: Vec<bool> = batch.iter().map(|&v| mask[v as usize]).collect();
         if !m_batch.iter().any(|&m| m) {
             // No labelled vertices sampled: skip the step (no gradient) —
             // before gathering the batch's feature rows, which would only
-            // be thrown away.
+            // be thrown away. A skipped batch exchanges nothing, so its
+            // volume is tallied separately, not into `total_volume_rows`.
+            skipped_batches += 1;
+            skipped_volume += plan_f.total_volume_rows();
             continue;
         }
+        total_volume += plan_f.total_volume_rows();
         let h_batch = gather::gather_rows(h0, batch);
         let l_batch: Vec<u32> = batch.iter().map(|&v| labels[v as usize]).collect();
         let out: DistOutcome = train_with_plans_spec(
@@ -136,6 +155,366 @@ pub fn train_spec(
         losses,
         params,
         total_volume_rows: total_volume,
+        skipped_batches,
+        skipped_volume_rows: skipped_volume,
+    }
+}
+
+/// As [`train_spec`], but through a freshly constructed persistent
+/// [`MinibatchEngine`] — same outputs bitwise, batch-sized per-step cost.
+#[allow(clippy::too_many_arguments)]
+pub fn train_spec_persistent(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    config: &GcnConfig,
+    batches: &[Vec<u32>],
+    param_seed: u64,
+    spec: ComputeSpec,
+) -> MinibatchOutcome {
+    let mut engine = MinibatchEngine::new(graph, h0, labels, mask, part, config, param_seed, spec);
+    engine.train(batches)
+}
+
+/// One rank's per-batch slice, gathered on the main thread while the
+/// ranks train the previous batch.
+struct RankLocal {
+    /// Feature rows of the rank's owned batch vertices (grow-once).
+    h: Dense,
+    labels: Vec<u32>,
+    mask: Vec<bool>,
+}
+
+/// Everything one batch needs to train, built ahead of time into the
+/// engine's double buffer: plans, per-rank data slices, and bookkeeping.
+/// Prep is a pure function of the batch (graph, features, partition,
+/// config are fixed), which is why building batch t+1 while the ranks
+/// train batch t cannot change any result.
+struct BatchPrep {
+    plan_f: CommPlan,
+    /// `None` for undirected graphs (backward reuses `plan_f`).
+    plan_b: Option<CommPlan>,
+    locals: Vec<RankLocal>,
+    mask_total: f64,
+    /// False when the batch sampled no labelled vertex: no step runs.
+    trainable: bool,
+    volume: u64,
+}
+
+impl BatchPrep {
+    fn empty(p: usize, width: usize) -> BatchPrep {
+        BatchPrep {
+            plan_f: CommPlan {
+                ranks: Vec::new(),
+                n: 0,
+                p,
+            },
+            plan_b: None,
+            locals: (0..p)
+                .map(|_| RankLocal {
+                    h: Dense::zeros(0, width),
+                    labels: Vec::new(),
+                    mask: Vec::new(),
+                })
+                .collect(),
+            mask_total: 1.0,
+            trainable: false,
+            volume: 0,
+        }
+    }
+
+    fn backward_rank(&self, m: usize) -> &crate::plan::RankPlan {
+        match &self.plan_b {
+            Some(pb) => &pb.ranks[m],
+            None => &self.plan_f.ranks[m],
+        }
+    }
+}
+
+/// Per-rank persistent training state, owned by the engine and visited by
+/// that rank's step closures. The `Mutex` is uncontended — only rank `m`'s
+/// thread (or the main thread between steps) ever touches slot `m`.
+struct RankSlot {
+    /// Replicated parameters (lock-step across slots).
+    params: Params,
+    /// Replicated optimizer state.
+    opt_state: OptimizerState,
+    /// The rank's kernel thread pool, built once for the whole stream.
+    cctx: ComputeCtx,
+    /// Grow-once epoch workspace, high-water-marked across batches.
+    ws: BatchWorkspace,
+    last_loss: f64,
+}
+
+/// Persistent mini-batch training engine (DESIGN.md §11).
+///
+/// [`train_spec`] pays full startup cost per batch: `Communicator::run`
+/// respawns all `p` rank threads and kernel pools, re-prewarms the comm
+/// pools, reallocates an `EpochWorkspace`, and `CommPlan::build` zeroes
+/// O(n·p) scratch — all wrapped around a *single* training step. The
+/// engine hoists every one of those out of the loop:
+///
+/// * a [`CommSession`] keeps the rank threads, channels, buffer pools and
+///   counters alive across the whole batch stream;
+/// * per-rank [`ComputeCtx`]s (kernel pools) are built once;
+/// * a [`PlanBuilder`] and [`SubgraphScratch`] reuse their maps, and the
+///   [`BatchWorkspace`] grows once to the high-water batch;
+/// * batch *t+1*'s subgraph, normalized adjacency, plan, and data slices
+///   are prepared on the main thread *while the ranks train batch t*
+///   (double buffer). Prep is a pure function of the batch, so the
+///   pipelining cannot change results.
+///
+/// Outputs are bitwise identical to [`train_spec`] (equivalence suite in
+/// `tests/minibatch_engine.rs`); only the per-batch overhead changes.
+pub struct MinibatchEngine<'a> {
+    graph: &'a Graph,
+    h0: &'a Dense,
+    labels: &'a [u32],
+    mask: &'a [bool],
+    part: &'a Partition,
+    config: &'a GcnConfig,
+    session: CommSession,
+    slots: Vec<Mutex<RankSlot>>,
+    builder: PlanBuilder,
+    scratch: SubgraphScratch,
+    preps: (BatchPrep, BatchPrep),
+    /// Which of `preps` holds the batch being trained (the other is the
+    /// build target); flips every batch.
+    cur: usize,
+}
+
+impl<'a> MinibatchEngine<'a> {
+    /// Spawns the rank runtime and builds every per-rank resource. The
+    /// parameters start at `config.init_params(param_seed)`, exactly like
+    /// the per-batch path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        graph: &'a Graph,
+        h0: &'a Dense,
+        labels: &'a [u32],
+        mask: &'a [bool],
+        part: &'a Partition,
+        config: &'a GcnConfig,
+        param_seed: u64,
+        spec: ComputeSpec,
+    ) -> MinibatchEngine<'a> {
+        assert_eq!(h0.rows(), graph.n(), "feature rows mismatch");
+        assert_eq!(labels.len(), graph.n(), "labels mismatch");
+        assert_eq!(mask.len(), graph.n(), "mask mismatch");
+        assert_eq!(part.n(), graph.n(), "partition size mismatch");
+        let p = part.p();
+        let init = config.init_params(param_seed);
+        let slots = (0..p)
+            .map(|_| {
+                Mutex::new(RankSlot {
+                    params: init.clone(),
+                    opt_state: OptimizerState::new(config.optimizer, &config.shapes()),
+                    cctx: ComputeCtx::for_ranks_spec(p, spec),
+                    ws: BatchWorkspace::new(),
+                    last_loss: 0.0,
+                })
+            })
+            .collect();
+        MinibatchEngine {
+            graph,
+            h0,
+            labels,
+            mask,
+            part,
+            config,
+            session: CommSession::new(p),
+            slots,
+            builder: PlanBuilder::new(),
+            scratch: SubgraphScratch::new(),
+            preps: (
+                BatchPrep::empty(p, h0.cols()),
+                BatchPrep::empty(p, h0.cols()),
+            ),
+            cur: 0,
+        }
+    }
+
+    /// Trains one step per batch, pipelining each batch's preparation
+    /// under the previous batch's training step. May be called repeatedly
+    /// — parameters and optimizer state carry across calls, so a stream
+    /// of `train` calls behaves like one long batch list.
+    pub fn train(&mut self, batches: &[Vec<u32>]) -> MinibatchOutcome {
+        let mut losses = Vec::with_capacity(batches.len());
+        let mut total_volume = 0u64;
+        let mut skipped_batches = 0usize;
+        let mut skipped_volume = 0u64;
+        let p = self.session.p();
+        // Split the engine into disjoint borrows: the step closure reads
+        // `slots` + the active prep while `prepare_batch` refills the
+        // builder scratch and the build prep.
+        let MinibatchEngine {
+            graph,
+            h0,
+            labels,
+            mask,
+            part,
+            config,
+            session,
+            slots,
+            builder,
+            scratch,
+            preps,
+            cur,
+        } = self;
+
+        if let Some(first) = batches.first() {
+            let build = if *cur == 0 {
+                &mut preps.0
+            } else {
+                &mut preps.1
+            };
+            prepare_batch(
+                graph, h0, labels, mask, part, builder, scratch, first, build,
+            );
+        }
+        for t in 0..batches.len() {
+            let (active, build) = if *cur == 0 {
+                (&preps.0, &mut preps.1)
+            } else {
+                (&preps.1, &mut preps.0)
+            };
+            if active.trainable {
+                let step = |ctx: &mut RankCtx| {
+                    let m = ctx.rank();
+                    let mut guard = slots[m].lock().expect("rank slot poisoned");
+                    let slot = &mut *guard;
+                    let rp_f = &active.plan_f.ranks[m];
+                    let rp_b = active.backward_rank(m);
+                    // Idempotent: tops pools/queues up to *this* batch's
+                    // analytic worst case; a no-op once the stream's
+                    // high-water batch has been seen, so steady state
+                    // stays allocation-free by construction rather than
+                    // by timing-dependent grow-on-miss.
+                    prewarm_comm_pools(ctx, rp_f, rp_b, config);
+                    let ws = slot.ws.begin_batch(rp_f, config, p, &slot.cctx);
+                    let local = &active.locals[m];
+                    let mut st = RankState {
+                        plan_f: rp_f,
+                        plan_b: rp_b,
+                        config,
+                        params: std::mem::replace(
+                            &mut slot.params,
+                            Params {
+                                weights: Vec::new(),
+                            },
+                        ),
+                        h0: &local.h,
+                        labels: &local.labels,
+                        mask: &local.mask,
+                        mask_total: active.mask_total,
+                        opt_state: std::mem::replace(
+                            &mut slot.opt_state,
+                            OptimizerState::new(Optimizer::Sgd, &[]),
+                        ),
+                        ctx: slot.cctx.clone(),
+                    };
+                    let comm_before = ctx.counters().comm_seconds;
+                    let start = Instant::now();
+                    let loss = epoch_step(ctx, &mut st, ws);
+                    let wall = start.elapsed().as_secs_f64();
+                    // Keep `comm + compute == wall` per rank across the
+                    // session, like the per-run accounting in the trainer.
+                    ctx.add_compute_seconds(wall - (ctx.counters().comm_seconds - comm_before));
+                    ctx.add_compute_flops(st.ctx.take_flops());
+                    slot.params = st.params;
+                    slot.opt_state = st.opt_state;
+                    slot.last_loss = loss;
+                };
+                // Safety: `step` outlives the submit/collect pair below —
+                // `collect_step` runs before it goes out of scope.
+                unsafe { session.submit_step(&step) };
+                // Ranks are now training batch t; overlap batch t+1's prep.
+                if let Some(next) = batches.get(t + 1) {
+                    prepare_batch(graph, h0, labels, mask, part, builder, scratch, next, build);
+                }
+                session.collect_step();
+                total_volume += active.volume;
+                losses.push(slots[0].lock().expect("rank slot poisoned").last_loss);
+            } else {
+                skipped_batches += 1;
+                skipped_volume += active.volume;
+                if let Some(next) = batches.get(t + 1) {
+                    prepare_batch(graph, h0, labels, mask, part, builder, scratch, next, build);
+                }
+            }
+            *cur ^= 1;
+        }
+        MinibatchOutcome {
+            losses,
+            params: self.params(),
+            total_volume_rows: total_volume,
+            skipped_batches,
+            skipped_volume_rows: skipped_volume,
+        }
+    }
+
+    /// The current (replicated) parameters.
+    pub fn params(&self) -> Params {
+        self.slots[0]
+            .lock()
+            .expect("rank slot poisoned")
+            .params
+            .clone()
+    }
+
+    /// Per-rank communication counters, accumulated since the engine was
+    /// created (or last [`MinibatchEngine::reset_counters`]).
+    pub fn counters(&mut self) -> Vec<CommCounters> {
+        self.session.run_step(|ctx| ctx.counters().clone())
+    }
+
+    /// Zeroes every rank's counters (e.g. after warm-up batches, so a
+    /// measurement window sees steady state only).
+    pub fn reset_counters(&mut self) {
+        self.session.run_step(|ctx| ctx.reset_counters());
+    }
+}
+
+/// Builds everything batch `batch` needs into `prep` (grow-once where the
+/// buffers allow it). Pure in the engine's fixed inputs: no training
+/// state is read, so prep for batch t+1 can run while batch t trains.
+#[allow(clippy::too_many_arguments)]
+fn prepare_batch(
+    graph: &Graph,
+    h0: &Dense,
+    labels: &[u32],
+    mask: &[bool],
+    part: &Partition,
+    builder: &mut PlanBuilder,
+    scratch: &mut SubgraphScratch,
+    batch: &[u32],
+    prep: &mut BatchPrep,
+) {
+    let sub = graph.induced_subgraph_into(batch, scratch);
+    let a = norm::normalize_adjacency(sub.adjacency());
+    let sub_part = restrict_partition(part, batch);
+    prep.plan_f = builder.build(&a, &sub_part);
+    prep.plan_b = if sub.directed() {
+        Some(builder.build(&a.transpose(), &sub_part))
+    } else {
+        None
+    };
+    prep.volume = prep.plan_f.total_volume_rows();
+    let masked = batch.iter().filter(|&&v| mask[v as usize]).count();
+    prep.trainable = masked > 0;
+    prep.mask_total = masked.max(1) as f64;
+    for (rp, local) in prep.plan_f.ranks.iter().zip(&mut prep.locals) {
+        local.h.resize_rows(rp.local_rows.len());
+        local.labels.clear();
+        local.mask.clear();
+        for (li, &lr) in rp.local_rows.iter().enumerate() {
+            let v = batch[lr as usize] as usize;
+            local.h.row_mut(li).copy_from_slice(h0.row(v));
+            local.labels.push(labels[v]);
+            local.mask.push(mask[v]);
+        }
     }
 }
 

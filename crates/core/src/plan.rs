@@ -25,7 +25,7 @@ use pargcn_matrix::Csr;
 use pargcn_partition::Partition;
 
 /// Rows to receive from one peer and the block to multiply them against.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RemoteBlock {
     pub peer: usize,
     /// Global row ids whose `H`/`G` rows arrive from `peer`, ascending —
@@ -36,7 +36,7 @@ pub struct RemoteBlock {
 }
 
 /// The selector `Xₘₙ`: which local rows to gather and send to one peer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SendSet {
     pub peer: usize,
     /// Indices into `local_rows` (ascending), i.e. the nonzero diagonal
@@ -45,7 +45,7 @@ pub struct SendSet {
 }
 
 /// One rank's share of the plan.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RankPlan {
     pub rank: usize,
     /// Owned global rows, ascending.
@@ -76,7 +76,7 @@ impl RankPlan {
 }
 
 /// The full p-rank plan for one SpMM direction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CommPlan {
     pub ranks: Vec<RankPlan>,
     pub n: usize,
@@ -88,97 +88,12 @@ impl CommPlan {
     ///
     /// For backpropagation on a directed graph, pass `Âᵀ` (the paper §3.1);
     /// undirected graphs reuse the feedforward plan.
+    ///
+    /// This is a convenience wrapper over [`PlanBuilder`] with fresh scratch;
+    /// callers building many plans (mini-batch training) should hold a
+    /// `PlanBuilder` and reuse it.
     pub fn build(a: &Csr, part: &Partition) -> CommPlan {
-        assert_eq!(a.n_rows(), a.n_cols(), "plan needs a square matrix");
-        assert_eq!(a.n_rows(), part.n(), "partition size mismatch");
-        let n = a.n_rows();
-        let p = part.p();
-        let members = part.members();
-
-        // Global row id → local index within its owner.
-        let mut local_index = vec![0u32; n];
-        for rows in &members {
-            for (li, &v) in rows.iter().enumerate() {
-                local_index[v as usize] = li as u32;
-            }
-        }
-
-        // First pass: per rank, split needed columns by owner.
-        // needed[m][o] = ascending global columns of Aₘ owned by rank o ≠ m.
-        let mut needed: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); p]; p];
-        let mut blocks: Vec<(Csr, Vec<u32>)> = Vec::with_capacity(p); // (Aₘ, col support)
-        for (m, rows) in members.iter().enumerate() {
-            let a_m = a.select_rows(rows);
-            let support = a_m.col_support();
-            for &j in &support {
-                let owner = part.part_of(j as usize) as usize;
-                if owner != m {
-                    needed[m][owner].push(j);
-                }
-            }
-            blocks.push((a_m, support));
-        }
-
-        let mut ranks = Vec::with_capacity(p);
-        for (m, rows) in members.iter().enumerate() {
-            let (a_m, _support) = &blocks[m];
-
-            // Diagonal block: own columns → local indices.
-            let mut own_map = vec![u32::MAX; n];
-            for (li, &v) in rows.iter().enumerate() {
-                own_map[v as usize] = li as u32;
-            }
-            let a_own = a_m
-                .filter_cols(|c| part.part_of(c as usize) as usize == m)
-                .remap_cols(&own_map, rows.len());
-
-            // Off-diagonal blocks per source peer.
-            let mut a_remote = Vec::new();
-            for (peer, need) in needed[m].iter().enumerate() {
-                if peer == m || need.is_empty() {
-                    continue;
-                }
-                let recv_rows = need.clone();
-                let mut recv_map = vec![u32::MAX; n];
-                for (pos, &j) in recv_rows.iter().enumerate() {
-                    recv_map[j as usize] = pos as u32;
-                }
-                let block = a_m
-                    .filter_cols(|c| recv_map[c as usize] != u32::MAX)
-                    .remap_cols(&recv_map, recv_rows.len());
-                a_remote.push(RemoteBlock {
-                    peer,
-                    rows: recv_rows,
-                    a: block,
-                });
-            }
-
-            // Send sets: invert `needed` — rank m sends to n the rows n
-            // needs from m (Eq. 8: the diagonal of Xₘₙ).
-            let mut send = Vec::new();
-            for (peer, need_row) in needed.iter().enumerate() {
-                if peer == m || need_row[m].is_empty() {
-                    continue;
-                }
-                let local_indices: Vec<u32> = need_row[m]
-                    .iter()
-                    .map(|&j| local_index[j as usize])
-                    .collect();
-                send.push(SendSet {
-                    peer,
-                    local_indices,
-                });
-            }
-
-            ranks.push(RankPlan {
-                rank: m,
-                local_rows: rows.clone(),
-                a_own,
-                a_remote,
-                send,
-            });
-        }
-        CommPlan { ranks, n, p }
+        PlanBuilder::new().build(a, part)
     }
 
     /// Exact per-rank cost of one SpMM+DMM phase under this plan, for the
@@ -216,6 +131,205 @@ impl CommPlan {
     /// Total messages per sweep.
     pub fn total_messages(&self) -> u64 {
         self.ranks.iter().map(|r| r.send.len() as u64).sum()
+    }
+}
+
+/// Reusable-scratch plan builder for the mini-batch path (DESIGN.md §11).
+///
+/// [`CommPlan::build`] allocates and zeroes O(n·p) of `u32::MAX` maps on
+/// every call (`own_map` per rank, `recv_map` per remote block) — fine for
+/// one full-batch plan, ruinous when every mini-batch needs a fresh plan.
+/// `PlanBuilder` keeps those maps alive across builds:
+///
+/// * `local_index` and `own_map` are plain grow-once vectors. Every entry
+///   that a build *reads* is written earlier in the same build (all n
+///   vertices for `local_index`; the current rank's owned vertices for
+///   `own_map`, and `filter_cols` keeps only owned columns before
+///   `remap_cols` reads the map), so stale entries from prior builds are
+///   never observed.
+/// * the receive map is epoch-stamped: `recv_val[c]` is live only when
+///   `recv_stamp[c]` equals the current epoch, so "clearing" the map for
+///   the next remote block is a counter increment, not an O(n) fill. The
+///   column-support scan reuses the same trick (`seen_stamp`).
+/// * the p×p `needed` matrix keeps its inner vectors' capacity.
+///
+/// Emitted plans are **bitwise identical** to `CommPlan::build` (the qc
+/// suite in `tests/minibatch_engine.rs` checks `==` across random
+/// graph/partition streams); the per-build cost drops from O(n·p) to
+/// O(touched) for the scratch, i.e. batch-sized for batch-sized graphs.
+#[derive(Debug, Default)]
+pub struct PlanBuilder {
+    /// Global row id → local index within its owner; fully rewritten per build.
+    local_index: Vec<u32>,
+    /// Current rank's owned global row → local index; only owned positions
+    /// are written then read, so no clearing between ranks or builds.
+    own_map: Vec<u32>,
+    /// Epoch-stamped receive map: `recv_val[c]` is live iff
+    /// `recv_stamp[c] == epoch`.
+    recv_stamp: Vec<u32>,
+    recv_val: Vec<u32>,
+    epoch: u32,
+    /// Epoch-stamped column-support marks for the first pass.
+    seen_stamp: Vec<u32>,
+    seen_epoch: u32,
+    /// needed[m][o] = ascending global columns of Aₘ owned by rank o ≠ m.
+    needed: Vec<Vec<Vec<u32>>>,
+}
+
+impl PlanBuilder {
+    pub fn new() -> PlanBuilder {
+        PlanBuilder::default()
+    }
+
+    /// Grow-once sizing; scratch high-water-marks across builds, so a
+    /// stream of same-sized batches reuses every buffer.
+    fn reserve(&mut self, n: usize, p: usize) {
+        if self.local_index.len() < n {
+            self.local_index.resize(n, 0);
+            self.own_map.resize(n, u32::MAX);
+            // New tail entries carry stamp 0; epochs start at 1, so they
+            // read as stale until written.
+            self.recv_stamp.resize(n, 0);
+            self.recv_val.resize(n, 0);
+            self.seen_stamp.resize(n, 0);
+        }
+        if self.needed.len() < p {
+            self.needed.resize_with(p, Vec::new);
+        }
+        for row in &mut self.needed[..p] {
+            if row.len() < p {
+                row.resize_with(p, Vec::new);
+            }
+            for cell in &mut row[..p] {
+                cell.clear();
+            }
+        }
+    }
+
+    /// Advances a stamp counter, resetting the buffer on the (practically
+    /// unreachable) u32 wraparound so stale stamps can never alias.
+    fn next_epoch(epoch: &mut u32, stamp: &mut [u32]) -> u32 {
+        if *epoch == u32::MAX {
+            stamp.fill(0);
+            *epoch = 0;
+        }
+        *epoch += 1;
+        *epoch
+    }
+
+    /// Builds the plan for `A · X` under `part` — same contract and bitwise
+    /// the same output as [`CommPlan::build`], at batch-sized scratch cost.
+    pub fn build(&mut self, a: &Csr, part: &Partition) -> CommPlan {
+        assert_eq!(a.n_rows(), a.n_cols(), "plan needs a square matrix");
+        assert_eq!(a.n_rows(), part.n(), "partition size mismatch");
+        let n = a.n_rows();
+        let p = part.p();
+        self.reserve(n, p);
+        let PlanBuilder {
+            local_index,
+            own_map,
+            recv_stamp,
+            recv_val,
+            epoch,
+            seen_stamp,
+            seen_epoch,
+            needed,
+        } = self;
+        let members = part.members();
+
+        // Global row id → local index within its owner.
+        for rows in &members {
+            for (li, &v) in rows.iter().enumerate() {
+                local_index[v as usize] = li as u32;
+            }
+        }
+
+        // First pass: per rank, split needed columns by owner. The support
+        // scan ascends over 0..n exactly like `Csr::col_support`, so the
+        // `needed` lists come out in the same (ascending) order.
+        let mut blocks: Vec<Csr> = Vec::with_capacity(p);
+        for (m, rows) in members.iter().enumerate() {
+            let a_m = a.select_rows(rows);
+            let se = PlanBuilder::next_epoch(seen_epoch, seen_stamp);
+            for i in 0..a_m.n_rows() {
+                for &c in a_m.row_indices(i) {
+                    seen_stamp[c as usize] = se;
+                }
+            }
+            for j in 0..n as u32 {
+                if seen_stamp[j as usize] == se {
+                    let owner = part.part_of(j as usize) as usize;
+                    if owner != m {
+                        needed[m][owner].push(j);
+                    }
+                }
+            }
+            blocks.push(a_m);
+        }
+
+        let mut ranks = Vec::with_capacity(p);
+        for (m, rows) in members.iter().enumerate() {
+            let a_m = &blocks[m];
+
+            // Diagonal block: own columns → local indices.
+            for (li, &v) in rows.iter().enumerate() {
+                own_map[v as usize] = li as u32;
+            }
+            let a_own = a_m
+                .filter_cols(|c| part.part_of(c as usize) as usize == m)
+                .remap_cols(&own_map[..n], rows.len());
+
+            // Off-diagonal blocks per source peer. Slice to `p`: the
+            // scratch may be wider from an earlier larger-p build.
+            let mut a_remote = Vec::new();
+            for (peer, need) in needed[m][..p].iter().enumerate() {
+                if peer == m || need.is_empty() {
+                    continue;
+                }
+                let recv_rows = need.clone();
+                let e = PlanBuilder::next_epoch(epoch, recv_stamp);
+                for (pos, &j) in recv_rows.iter().enumerate() {
+                    recv_stamp[j as usize] = e;
+                    recv_val[j as usize] = pos as u32;
+                }
+                // `filter_cols` keeps exactly the freshly stamped columns,
+                // so `remap_cols` only reads live `recv_val` entries.
+                let block = a_m
+                    .filter_cols(|c| recv_stamp[c as usize] == e)
+                    .remap_cols(&recv_val[..n], recv_rows.len());
+                a_remote.push(RemoteBlock {
+                    peer,
+                    rows: recv_rows,
+                    a: block,
+                });
+            }
+
+            // Send sets: invert `needed` — rank m sends to n the rows n
+            // needs from m (Eq. 8: the diagonal of Xₘₙ).
+            let mut send = Vec::new();
+            for (peer, need_row) in needed[..p].iter().enumerate() {
+                if peer == m || need_row[m].is_empty() {
+                    continue;
+                }
+                let local_indices: Vec<u32> = need_row[m]
+                    .iter()
+                    .map(|&j| local_index[j as usize])
+                    .collect();
+                send.push(SendSet {
+                    peer,
+                    local_indices,
+                });
+            }
+
+            ranks.push(RankPlan {
+                rank: m,
+                local_rows: rows.clone(),
+                a_own,
+                a_remote,
+                send,
+            });
+        }
+        CommPlan { ranks, n, p }
     }
 }
 

@@ -165,23 +165,66 @@ impl Graph {
     /// with vertex ids renumbered to `0..vertices.len()`. Used by mini-batch
     /// sampling (§4.3.3): each mini-batch is a subgraph `G' ⊂ G`.
     pub fn induced_subgraph(&self, vertices: &[u32]) -> Graph {
-        let mut map = vec![u32::MAX; self.n()];
+        self.induced_subgraph_into(vertices, &mut SubgraphScratch::new())
+    }
+
+    /// [`Graph::induced_subgraph`] with caller-owned scratch: the global
+    /// vertex map and the triplet buffer live in `scratch` and are reused
+    /// across calls, so a steady stream of bounded-size batches builds its
+    /// subgraphs without heap allocation beyond the returned `Graph`.
+    pub fn induced_subgraph_into(&self, vertices: &[u32], scratch: &mut SubgraphScratch) -> Graph {
+        let epoch = scratch.begin(self.n());
         for (new, &old) in vertices.iter().enumerate() {
-            map[old as usize] = new as u32;
+            scratch.stamp[old as usize] = epoch;
+            scratch.val[old as usize] = new as u32;
         }
-        let mut coo = Vec::new();
+        scratch.coo.clear();
         for (new, &old) in vertices.iter().enumerate() {
             for &nbr in self.neighbors(old as usize) {
-                let m = map[nbr as usize];
-                if m != u32::MAX {
-                    coo.push((new as u32, m, 1.0));
+                if scratch.stamp[nbr as usize] == epoch {
+                    scratch
+                        .coo
+                        .push((new as u32, scratch.val[nbr as usize], 1.0));
                 }
             }
         }
         Graph {
-            adjacency: Csr::from_coo(vertices.len(), vertices.len(), coo),
+            adjacency: Csr::from_coo_ref(vertices.len(), vertices.len(), &scratch.coo),
             directed: self.directed,
         }
+    }
+}
+
+/// Reusable scratch for [`Graph::induced_subgraph_into`]: an epoch-stamped
+/// global-vertex → batch-local map (`val[v]` is live iff `stamp[v]` equals
+/// the current epoch, so "clearing" between batches is a counter bump) plus
+/// the COO triplet buffer. Grow-once across calls.
+#[derive(Debug, Default)]
+pub struct SubgraphScratch {
+    stamp: Vec<u32>,
+    val: Vec<u32>,
+    epoch: u32,
+    coo: Vec<(u32, u32, f32)>,
+}
+
+impl SubgraphScratch {
+    pub fn new() -> SubgraphScratch {
+        SubgraphScratch::default()
+    }
+
+    /// Sizes the map for an `n`-vertex host graph and opens a new epoch.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.stamp.len() < n {
+            // New tail entries carry stamp 0; epochs start at 1.
+            self.stamp.resize(n, 0);
+            self.val.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 }
 

@@ -28,4 +28,4 @@ pub mod graph;
 pub mod io;
 
 pub use datasets::{Dataset, GraphData, Scale};
-pub use graph::{DegreeStats, Graph};
+pub use graph::{DegreeStats, Graph, SubgraphScratch};

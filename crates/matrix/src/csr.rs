@@ -39,10 +39,17 @@ impl Csr {
     /// # Panics
     /// Panics if any coordinate is out of bounds.
     pub fn from_coo(n_rows: usize, n_cols: usize, coo: Vec<(u32, u32, f32)>) -> Self {
+        Self::from_coo_ref(n_rows, n_cols, &coo)
+    }
+
+    /// [`Csr::from_coo`] over a borrowed triplet slice — same output, but
+    /// the caller keeps the buffer, so a mini-batch loop can refill one
+    /// scratch `Vec` per batch instead of allocating a fresh one.
+    pub fn from_coo_ref(n_rows: usize, n_cols: usize, coo: &[(u32, u32, f32)]) -> Self {
         // Pass 1: per-row counts (bounds are checked here, inline — no
         // separate validation sweep over the triplets).
         let mut indptr = vec![0usize; n_rows + 1];
-        for &(r, c, _) in &coo {
+        for &(r, c, _) in coo {
             assert!(
                 (r as usize) < n_rows && (c as usize) < n_cols,
                 "coo entry out of bounds"
@@ -58,7 +65,7 @@ impl Csr {
         let mut bucket_cols = vec![0u32; nnz];
         let mut bucket_vals = vec![0.0f32; nnz];
         let mut cursor = indptr.clone();
-        for (r, c, v) in coo {
+        for &(r, c, v) in coo {
             let slot = cursor[r as usize];
             bucket_cols[slot] = c;
             bucket_vals[slot] = v;

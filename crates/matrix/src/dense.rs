@@ -83,6 +83,15 @@ impl Dense {
         self.cols
     }
 
+    /// Changes the row count in place, keeping the column width and the
+    /// allocation (grow-once under a high-water mark). New rows are zeroed;
+    /// surviving rows keep their stale contents — callers that reuse a
+    /// workspace across batches must fully overwrite before reading.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.cols, 0.0);
+        self.rows = rows;
+    }
+
     /// Borrow of the underlying row-major data.
     #[inline]
     pub fn data(&self) -> &[f32] {

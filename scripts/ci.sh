@@ -31,12 +31,14 @@ for kernel in naive blocked; do
         --test determinism_threads --test kernel_engine
     run env PARGCN_KERNEL=$kernel \
         cargo test -q --offline --locked -p pargcn-core \
-        --test determinism_threads --test no_alloc_steady_state
+        --test determinism_threads --test no_alloc_steady_state \
+        --test minibatch_engine
 done
 # Smoke-run the communication and kernel-engine microbenchmarks (a few
 # samples each) so the bench harnesses can't rot between perf sessions.
 run cargo bench -q --offline --locked -p pargcn-bench --bench comm -- --quick
 run cargo bench -q --offline --locked -p pargcn-bench --bench kernels -- --quick kernel_engine
+run cargo bench -q --offline --locked -p pargcn-bench --bench minibatch -- --quick
 run cargo fmt --check
 run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
 

@@ -37,6 +37,7 @@ run fig5_shp --json results/fig5.json
 run table3_billion --json results/table3.json
 run table4_sota --json results/table4.json
 bench comm --json results/comm_bench.json
+bench minibatch --json results/minibatch_engine.json
 bench kernels --quick --json results/kernels_threads.json
 bench kernels --json results/kernels_blocked.json kernel_engine
 echo "all experiments written to results/"
